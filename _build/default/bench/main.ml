@@ -1,0 +1,166 @@
+(* Benchmark & experiment harness.
+
+   Two halves:
+   1. Regenerate every experiment table (E1..E10 of EXPERIMENTS.md) —
+      the paper has no measured tables of its own, so these executable
+      checks of its lemmas and bounds are what we reproduce.
+   2. Bechamel micro-benchmarks, one per experiment workload, measuring
+      the cost of the machinery itself (augmented-snapshot operations,
+      spec checking, full simulations, replay analysis, solo-path
+      search, bound tables). *)
+
+open Core
+open Bechamel
+open Toolkit
+
+(* -------- part 2: one Test.make per experiment workload -------- *)
+
+let stage = Staged.stage
+
+let e1_aug_ops =
+  Test.make ~name:"e1/aug-workload f=3 m=3"
+    (stage (fun () -> Rsim_experiments.Exp_common.aug_workload ~f:3 ~m:3 ~n_ops:6 ~seed:11))
+
+let e2_yield_probe =
+  Test.make ~name:"e2/aug-workload f=4 m=3"
+    (stage (fun () -> Rsim_experiments.Exp_common.aug_workload ~f:4 ~m:3 ~n_ops:6 ~seed:12))
+
+let e3_spec_check =
+  let aug, trace = Rsim_experiments.Exp_common.aug_workload ~f:3 ~m:3 ~n_ops:8 ~seed:13 in
+  Test.make ~name:"e3/spec-check (fixed trace)"
+    (stage (fun () -> Aug_spec.check aug trace))
+
+let e4_replay =
+  let spec, result = Rsim_experiments.Exp_common.racing_sim ~n:6 ~m:3 ~f:2 ~d:0 ~seed:14 in
+  Test.make ~name:"e4/lemma26-replay (fixed run)"
+    (stage (fun () -> Analysis.check spec result))
+
+let e5_reduction_small =
+  Test.make ~name:"e5/simulation n=4 m=2 f=2"
+    (stage (fun () -> Rsim_experiments.Exp_common.racing_sim ~n:4 ~m:2 ~f:2 ~d:0 ~seed:15))
+
+let e5_reduction_mid =
+  Test.make ~name:"e5/simulation n=8 m=2 f=4"
+    (stage (fun () -> Rsim_experiments.Exp_common.racing_sim ~n:8 ~m:2 ~f:4 ~d:0 ~seed:16))
+
+let e5_reduction_direct =
+  Test.make ~name:"e5/simulation n=7 m=5 f=2 d=1"
+    (stage (fun () -> Rsim_experiments.Exp_common.racing_sim ~n:7 ~m:5 ~f:2 ~d:1 ~seed:17))
+
+let e6_complexity =
+  Test.make ~name:"e6/a-b-bounds m<=6"
+    (stage (fun () ->
+         for m = 1 to 6 do
+           for i = 1 to 6 do
+             ignore (Complexity.b ~m i)
+           done
+         done))
+
+let e7_tables =
+  Test.make ~name:"e7/bound-tables"
+    (stage (fun () ->
+         ignore
+           (Tables.kset_rows ~ns:[ 8; 16; 32; 64 ] ~ks:[ 1; 2; 4; 7 ]
+              ~xs:[ 1; 2; 4 ])))
+
+let e8_solo_search =
+  let nd = Nd_examples.coin_consensus ~me:0 () in
+  let state = nd.Ndproto.init (Value.Int 1) in
+  let ep = Ndproto.initial_ep nd in
+  Test.make ~name:"e8/solo-path-search"
+    (stage (fun () -> Solo_path.shortest nd ~state ~ep ~cap:10_000))
+
+let e8_derand_run =
+  Test.make ~name:"e8/derandomized-run"
+    (stage (fun () ->
+         let procs =
+           [
+             Derandomize.convert (Nd_examples.coin_consensus ~me:0 ()) ~cap:10_000
+               ~input:(Value.Int 1);
+             Derandomize.convert (Nd_examples.coin_consensus ~me:1 ()) ~cap:10_000
+               ~input:(Value.Int 2);
+           ]
+         in
+         Mrun.run ~max_steps:500 ~sched:(Schedule.random ~seed:18)
+           (Mrun.init procs)))
+
+let substrate_regsnap =
+  Test.make ~name:"substrate/regsnap scan f=3"
+    (stage (fun () ->
+         let t = Regsnap.create ~f:3 in
+         ignore
+           (Regsnap.F.run ~sched:Schedule.round_robin ~apply:(Regsnap.apply t)
+              [
+                (fun _ -> Regsnap.update t ~me:0 (Value.Int 1));
+                (fun _ -> Regsnap.update t ~me:1 (Value.Int 2));
+                (fun _ -> ignore (Regsnap.scan t ~me:2));
+              ])))
+
+let substrate_sperner =
+  Test.make ~name:"substrate/sperner walk s=12"
+    (stage (fun () ->
+         let coloring = Sperner.random_coloring ~s:12 ~seed:99 in
+         Sperner.find_by_walk ~s:12 ~coloring))
+
+let tests =
+  [
+    e1_aug_ops;
+    e2_yield_probe;
+    e3_spec_check;
+    e4_replay;
+    e5_reduction_small;
+    e5_reduction_mid;
+    e5_reduction_direct;
+    e6_complexity;
+    e7_tables;
+    e8_solo_search;
+    e8_derand_run;
+    substrate_regsnap;
+    substrate_sperner;
+  ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-36s %14s %10s\n" "benchmark" "time/run" "r2";
+  print_endline (String.make 64 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimates = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          let human t =
+            if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+            else Printf.sprintf "%8.0f ns" t
+          in
+          Printf.printf "%-36s %14s %10s\n" name (human time) r2)
+        estimates)
+    tests
+
+let () =
+  print_endline "======================================================";
+  print_endline " Experiment tables (EXPERIMENTS.md, E1..E10)";
+  print_endline "======================================================";
+  Rsim_experiments.Experiments.print_all Format.std_formatter;
+  Format.pp_print_flush Format.std_formatter ();
+  print_newline ();
+  print_endline "======================================================";
+  print_endline " Micro-benchmarks (bechamel, monotonic clock)";
+  print_endline "======================================================";
+  run_benchmarks ()

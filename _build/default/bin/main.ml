@@ -1,0 +1,254 @@
+(* rsim — command-line interface to the revisionist-simulation library. *)
+
+open Core
+open Cmdliner
+
+(* ---------------- bounds ---------------- *)
+
+let bounds_cmd =
+  let table =
+    Arg.(
+      value
+      & opt (enum [ ("kset", `Kset); ("approx", `Approx); ("headline", `Headline) ]) `Headline
+      & info [ "table" ] ~doc:"Which table: kset, approx, or headline.")
+  in
+  let ns =
+    Arg.(value & opt (list int) [ 8; 16; 32 ] & info [ "n" ] ~doc:"Values of n.")
+  in
+  let run table ns =
+    let fmt = Format.std_formatter in
+    (match table with
+    | `Kset ->
+      Tables.print_kset fmt (Tables.kset_rows ~ns ~ks:[ 1; 2; 4; 7 ] ~xs:[ 1; 2; 4 ])
+    | `Approx ->
+      Tables.print_approx fmt
+        (Tables.approx_rows ~ns ~epss:[ 0.1; 1e-3; 1e-6; 1e-12; 1e-24 ])
+    | `Headline -> Tables.print_headline fmt ~ns);
+    Format.pp_print_flush fmt ()
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the paper's lower/upper bound tables (Corollaries 33-34).")
+    Term.(const run $ table $ ns)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Simulated processes.") in
+  let m = Arg.(value & opt int 2 & info [ "m" ] ~doc:"Snapshot components.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Simulators.") in
+  let d = Arg.(value & opt int 0 & info [ "d" ] ~doc:"Direct simulators (the paper's x).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.") in
+  let arch = Arg.(value & flag & info [ "show-architecture" ] ~doc:"Print Figure 1 for this spec.") in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the Aug spec checker and the Lemma 26 replay.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full run: M-operations, journals, revisions.") in
+  let run n m f d seed arch check trace =
+    let spec =
+      {
+        Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+        n;
+        m;
+        f;
+        d;
+        inputs = List.init f (fun p -> Value.Int (p + 1));
+      }
+    in
+    if arch then print_string (Harness.architecture spec);
+    let result = Harness.run ~sched:(Schedule.random ~seed) spec in
+    Printf.printf "wait-free: %b   H-operations: %d\n" result.Harness.all_done
+      result.Harness.total_ops;
+    List.iter
+      (fun (i, v) -> Printf.printf "simulator q%d output %s\n" i (Value.show v))
+      result.Harness.outputs;
+    (match Harness.validate spec result ~task:Task.consensus with
+    | Ok () -> print_endline "consensus: valid"
+    | Error e -> Printf.printf "consensus: VIOLATED (%s)\n" e);
+    if trace then Trace_pp.pp_run Format.std_formatter spec result;
+    if check then begin
+      let aug_rep = Aug_spec.check result.Harness.aug result.Harness.trace in
+      Format.printf "augmented-snapshot spec: %s@."
+        (if aug_rep.Aug_spec.ok then "all lemmas hold" else "FAILED");
+      if not aug_rep.Aug_spec.ok then
+        Format.printf "%a@." Aug_spec.pp_report aug_rep;
+      let rep = Analysis.check spec result in
+      Format.printf
+        "Lemma 26 replay: %s (lin=%d revisions=%d hidden steps=%d)@."
+        (if rep.Analysis.ok then "execution reconstructed and replayed"
+         else "FAILED")
+        rep.Analysis.stats.Analysis.n_lin_items
+        rep.Analysis.stats.Analysis.n_revisions
+        rep.Analysis.stats.Analysis.n_hidden_steps;
+      if not rep.Analysis.ok then Format.printf "%a@." Analysis.pp_report rep
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the revisionist simulation of racing consensus (Theorem 21's construction).")
+    Term.(const run $ n $ m $ f $ d $ seed $ arch $ check $ trace)
+
+(* ---------------- witness ---------------- *)
+
+let witness_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Simulated processes.") in
+  let m = Arg.(value & opt int 2 & info [ "m" ] ~doc:"Snapshot components.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Simulators.") in
+  let d = Arg.(value & opt int 0 & info [ "d" ] ~doc:"Direct simulators.") in
+  let seeds = Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Schedules to search.") in
+  let run n m f d seeds =
+    let bound = Lower.consensus ~n in
+    Printf.printf "Corollary 33: consensus among n=%d needs >= %d registers; trying m=%d.\n"
+      n bound m;
+    let found = ref 0 in
+    let first = ref None in
+    for seed = 0 to seeds - 1 do
+      let spec =
+        {
+          Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+          n;
+          m;
+          f;
+          d;
+          inputs = List.init f (fun p -> Value.Int (p + 1));
+        }
+      in
+      let result = Harness.run ~sched:(Schedule.random ~seed) spec in
+      match Harness.validate spec result ~task:Task.consensus with
+      | Error _ when result.Harness.all_done ->
+        incr found;
+        if !first = None then first := Some seed
+      | _ -> ()
+    done;
+    (match !first with
+    | Some s ->
+      Printf.printf
+        "violations in %d/%d schedules (first seed %d): the simulation drives the\n\
+         under-provisioned protocol to disagreement, as the reduction predicts.\n"
+        !found seeds s
+    | None ->
+      Printf.printf "no violation in %d schedules (space is sufficient here).\n" seeds)
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Search schedules for the disagreement the space lower bound predicts.")
+    Term.(const run $ n $ m $ f $ d $ seeds)
+
+(* ---------------- derand ---------------- *)
+
+let derand_cmd =
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("coin", `Coin); ("ticket", `Ticket) ]) `Coin
+      & info [ "protocol" ] ~doc:"Which nondeterministic protocol: coin or ticket.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.") in
+  let run proto seed =
+    match proto with
+    | `Coin ->
+      let procs =
+        [
+          Derandomize.convert (Nd_examples.coin_consensus ~me:0 ()) ~cap:10_000
+            ~input:(Value.Int 1);
+          Derandomize.convert (Nd_examples.coin_consensus ~me:1 ()) ~cap:10_000
+            ~input:(Value.Int 2);
+        ]
+      in
+      let c = Mrun.init procs in
+      Printf.printf "initial shortest solo paths: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun pid ->
+                match Derandomize.solo_distance (Mrun.proc c pid) with
+                | Some d -> Printf.sprintf "p%d: %d" pid d
+                | None -> Printf.sprintf "p%d: none" pid)
+              [ 0; 1 ]));
+      let c', outcome = Mrun.run ~max_steps:500 ~sched:(Schedule.random ~seed) c in
+      Printf.printf "outcome: %s\n"
+        (match outcome with
+        | Mrun.All_done -> "all decided"
+        | Mrun.Step_limit -> "step limit (lockstep livelock; OF still holds solo)"
+        | Mrun.Schedule_exhausted -> "schedule exhausted");
+      List.iter
+        (fun (pid, v) -> Printf.printf "p%d decided %s\n" pid (Value.show v))
+        (Mrun.outputs c')
+    | `Ticket ->
+      let procs =
+        List.init 3 (fun _ ->
+            Derandomize.convert Nd_examples.ticket ~cap:10_000 ~input:(Value.Int 0))
+      in
+      let c = Mrun.init procs in
+      let c', _ = Mrun.run ~sched:(Schedule.random ~seed) c in
+      List.iter
+        (fun (pid, v) -> Printf.printf "p%d got ticket %s\n" pid (Value.show v))
+        (Mrun.outputs c')
+  in
+  Cmd.v
+    (Cmd.info "derand"
+       ~doc:"Derandomize a nondeterministic solo-terminating protocol (Theorem 35) and run it.")
+    Term.(const run $ proto $ seed)
+
+(* ---------------- sperner ---------------- *)
+
+let sperner_cmd =
+  let scale = Arg.(value & opt int 8 & info [ "s"; "scale" ] ~doc:"Subdivision scale.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Coloring seed.") in
+  let run scale seed =
+    let coloring = Sperner.random_coloring ~s:scale ~seed in
+    let tri = Sperner.trichromatic ~s:scale ~coloring in
+    Printf.printf
+      "random Sperner coloring at scale %d: %d trichromatic cells (odd, per the lemma)\n"
+      scale (List.length tri);
+    (match Sperner.find_by_walk ~s:scale ~coloring with
+    | Some ((a1, a2), (b1, b2), (c1, c2)) ->
+      Printf.printf "door-to-door walk found {(%d,%d) (%d,%d) (%d,%d)}\n" a1 a2
+        b1 b2 c1 c2
+    | None -> print_endline "walk failed (invalid coloring?)");
+    (* render the coloring as a triangle of digits *)
+    for k = scale downto 0 do
+      print_string (String.make k ' ');
+      for i = 0 to scale - k do
+        let j = scale - k - i in
+        Printf.printf "%d " (coloring (i, j))
+      done;
+      print_newline ()
+    done
+  in
+  Cmd.v
+    (Cmd.info "sperner"
+       ~doc:"Sperner's lemma demo: the combinatorial core of the reduction's target.")
+    Term.(const run $ scale $ seed)
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E10); all if omitted.")
+  in
+  let run id =
+    match id with
+    | None -> Rsim_experiments.Experiments.print_all Format.std_formatter
+    | Some id -> (
+      match Rsim_experiments.Experiments.find id with
+      | Some e ->
+        Format.printf "=== %s — %s ===@." e.Rsim_experiments.Experiments.id
+          e.Rsim_experiments.Experiments.title;
+        List.iter print_endline (e.Rsim_experiments.Experiments.run ())
+      | None -> prerr_endline ("unknown experiment: " ^ id))
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables (E1..E10).")
+    Term.(const run $ id)
+
+let main_cmd =
+  let doc = "Revisionist simulations: executable space-lower-bound machinery (PODC 2018)." in
+  Cmd.group
+    (Cmd.info "rsim" ~version:Core.version ~doc)
+    [ bounds_cmd; simulate_cmd; witness_cmd; derand_cmd; sperner_cmd; experiments_cmd ]
+
+let () =
+  (* RSIM_LOG=debug surfaces the harness's internal logging. *)
+  Logs.set_reporter (Logs.format_reporter ());
+  (match Sys.getenv_opt "RSIM_LOG" with
+  | Some "debug" -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some _ | None -> Logs.set_level (Some Logs.Warning));
+  exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+dev/ablation_probe.ml: Aug Aug_spec List Printf Prng Rsim_augmented Rsim_shmem Rsim_value Schedule Value

@@ -1,0 +1,1 @@
+dev/ablation_probe.mli:

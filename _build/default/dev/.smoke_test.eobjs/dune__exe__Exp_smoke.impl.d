@@ -1,0 +1,1 @@
+dev/exp_smoke.ml: Format Rsim_experiments

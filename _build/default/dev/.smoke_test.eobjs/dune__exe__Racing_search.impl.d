@@ -1,0 +1,1 @@
+dev/racing_search.ml: Array List Printf Racing Rsim_protocols Rsim_shmem Rsim_value Run Schedule String Value

@@ -1,0 +1,1 @@
+dev/racing_trace.ml: Array List Option Printf Proc Racing Rsim_protocols Rsim_shmem Rsim_value Run Schedule String Value

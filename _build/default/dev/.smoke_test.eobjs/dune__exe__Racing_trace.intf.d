@@ -1,0 +1,1 @@
+dev/racing_trace.mli:

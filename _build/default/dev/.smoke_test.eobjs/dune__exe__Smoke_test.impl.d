@@ -1,0 +1,1 @@
+dev/smoke_test.ml: Analysis Array Format Harness List Printf Rsim_augmented Rsim_protocols Rsim_shmem Rsim_simulation Rsim_tasks Rsim_value Schedule String Value

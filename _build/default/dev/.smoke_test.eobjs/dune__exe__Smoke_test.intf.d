@@ -1,0 +1,1 @@
+dev/smoke_test.mli:

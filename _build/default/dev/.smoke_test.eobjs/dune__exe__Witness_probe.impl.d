@@ -1,0 +1,1 @@
+dev/witness_probe.ml: Adopt2 Covering_witness List Printf Racing Rsim_protocols Rsim_simulation Rsim_tasks Rsim_value String Value

@@ -1,0 +1,1 @@
+dev/witness_probe.mli:

@@ -1,0 +1,40 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+
+let workload ~helping ~f ~m ~seed =
+  let aug = Aug.create ~helping ~f ~m () in
+  let body pid =
+    let g = ref (Prng.make (seed + 1000 * pid)) in
+    let draw n = let k, g' = Prng.int !g n in g := g'; k in
+    for _ = 1 to 8 do
+      if draw 3 = 0 then ignore (Aug.scan aug ~me:pid)
+      else begin
+        let r = 1 + draw (min m 3) in
+        let comps = ref [] in
+        while List.length !comps < r do
+          let j = draw m in
+          if not (List.mem j !comps) then comps := j :: !comps
+        done;
+        ignore (Aug.block_update aug ~me:pid (List.map (fun j -> (j, Value.Int (draw 100))) !comps))
+      end
+    done
+  in
+  let result = Aug.F.run ~max_ops:50_000 ~sched:(Schedule.random ~seed)
+    ~apply:(Aug.apply aug) (List.init f (fun _ -> body)) in
+  Aug_spec.check aug result.Aug.F.trace
+
+let () =
+  List.iter (fun helping ->
+    let fails = ref 0 and total = 100 in
+    let sample = ref [] in
+    for seed = 0 to total - 1 do
+      let rep = workload ~helping ~f:3 ~m:3 ~seed in
+      if not rep.Aug_spec.ok then begin
+        incr fails;
+        if !sample = [] then sample := rep.Aug_spec.errors
+      end
+    done;
+    Printf.printf "helping=%b: %d/%d executions violate the spec\n" helping !fails total;
+    List.iteri (fun i e -> if i < 3 then Printf.printf "   e.g. %s\n" e) !sample)
+    [ true; false ]

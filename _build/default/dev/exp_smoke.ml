@@ -1,0 +1,1 @@
+let () = Rsim_experiments.Experiments.print_all Format.std_formatter

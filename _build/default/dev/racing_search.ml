@@ -1,0 +1,29 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_protocols
+
+let () =
+  (* scan for agreement violations / non-termination of racing m=n *)
+  let bad = ref 0 in
+  for n = 2 to 5 do
+    for seed = 0 to 20000 do
+      let inputs = List.init n (fun p -> Value.Int p) in
+      let procs = List.mapi (fun pid inp -> (Racing.protocol ~m:n ()) pid inp) inputs in
+      let c = Run.init ~m:n procs in
+      let c', outcome = Run.run ~max_steps:200_000 ~sched:(Schedule.random ~seed) c in
+      let outs = List.map snd (Run.outputs c') in
+      let distinct = Value.distinct outs in
+      if outcome <> Run.All_done then begin
+        incr bad;
+        if !bad < 5 then Printf.printf "n=%d seed=%d: NOT DONE (outcome %s) after steps=%d\n" n seed
+          (match outcome with Run.Step_limit -> "limit" | Run.Schedule_exhausted -> "exhausted" | _ -> "?")
+          (Array.fold_left (+) 0 (Run.step_counts c'))
+      end
+      else if List.length distinct > 1 then begin
+        incr bad;
+        if !bad < 5 then Printf.printf "n=%d seed=%d: DISAGREEMENT %s\n" n seed
+          (String.concat "," (List.map Value.show distinct))
+      end
+    done
+  done;
+  Printf.printf "total bad: %d\n" !bad

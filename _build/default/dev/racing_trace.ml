@@ -1,0 +1,20 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_protocols
+
+let () =
+  let n = 2 in
+  let inputs = List.init n (fun p -> Value.Int p) in
+  let procs = List.mapi (fun pid inp -> (Racing.protocol ~m:n ()) pid inp) inputs in
+  let c = Run.init ~m:n procs in
+  let c', _ = Run.run ~max_steps:200_000 ~sched:(Schedule.random ~seed:133) c in
+  List.iter (fun (e : Run.event) ->
+    match e.action with
+    | Proc.Scan ->
+      Printf.printf "%2d p%d SCAN  -> [%s]\n" e.idx e.pid
+        (String.concat "; " (List.map Value.show (Array.to_list (Option.get e.view))))
+    | Proc.Update (j, v) ->
+      Printf.printf "%2d p%d WRITE reg%d := %s\n" e.idx e.pid j (Value.show v)
+    | Proc.Output v -> Printf.printf "%2d p%d OUTPUT %s\n" e.idx e.pid (Value.show v))
+    (Run.trace c');
+  List.iter (fun (p, v) -> Printf.printf "p%d decided %s\n" p (Value.show v)) (Run.outputs c')

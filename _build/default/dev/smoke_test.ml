@@ -1,0 +1,74 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_simulation
+
+let () =
+  (* f=1 covering simulator over racing consensus with m=3, n=3 *)
+  let spec = {
+    Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:3 ()) pid input);
+    n = 3; m = 3; f = 1; d = 0; inputs = [ Value.Int 42 ];
+  } in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  Printf.printf "f=1: all_done=%b outputs=%s total_ops=%d bus=%s\n"
+    r.Harness.all_done
+    (String.concat "," (List.map (fun (i,v) -> Printf.sprintf "%d:%s" i (Value.show v)) r.Harness.outputs))
+    r.Harness.total_ops
+    (String.concat "," (Array.to_list (Array.map string_of_int r.Harness.bu_counts)));
+  (match Harness.validate spec r ~task:Rsim_tasks.Task.consensus with
+   | Ok () -> print_endline "consensus OK"
+   | Error e -> Printf.printf "violation: %s\n" e);
+  (* f=2: 2 covering simulators, m=2, n=4 racing (broken protocol regime) *)
+  let spec2 = {
+    Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:2 ()) pid input);
+    n = 4; m = 2; f = 2; d = 0; inputs = [ Value.Int 1; Value.Int 2 ];
+  } in
+  List.iter (fun seed ->
+    let r2 = Harness.run ~sched:(Schedule.random ~seed) spec2 in
+    Printf.printf "f=2 seed=%d: all_done=%b outputs=[%s] ops=%d bus=%s  "
+      seed r2.Harness.all_done
+      (String.concat "," (List.map (fun (i,v) -> Printf.sprintf "%d:%s" i (Value.show v)) r2.Harness.outputs))
+      r2.Harness.total_ops
+      (String.concat "," (Array.to_list (Array.map string_of_int r2.Harness.bu_counts)));
+    (match Harness.validate spec2 r2 ~task:Rsim_tasks.Task.consensus with
+     | Ok () -> print_endline "consensus OK"
+     | Error e -> Printf.printf "VIOLATION: %s\n" e);
+    (* check the aug spec on the run *)
+    let report = Rsim_augmented.Aug_spec.check r2.Harness.aug r2.Harness.trace in
+    if not report.Rsim_augmented.Aug_spec.ok then
+      Format.printf "AUG SPEC FAIL: %a@." Rsim_augmented.Aug_spec.pp_report report)
+    [1;2;3;4;5];
+  (* f=2 with d=1 direct simulator, m=2, n=3 *)
+  let spec3 = {
+    Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:2 ()) pid input);
+    n = 3; m = 2; f = 2; d = 1; inputs = [ Value.Int 7; Value.Int 9 ];
+  } in
+  List.iter (fun seed ->
+    let r3 = Harness.run ~sched:(Schedule.random ~seed) spec3 in
+    Printf.printf "f=2 d=1 seed=%d: all_done=%b outputs=[%s]\n"
+      seed r3.Harness.all_done
+      (String.concat "," (List.map (fun (i,v) -> Printf.sprintf "%d:%s" i (Value.show v)) r3.Harness.outputs)))
+    [1;2;3];
+  print_endline (Harness.architecture spec3)
+
+let () =
+  print_endline "--- analysis ---";
+  let spec = {
+    Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:3 ()) pid input);
+    n = 6; m = 3; f = 2; d = 0; inputs = [ Value.Int 1; Value.Int 2 ];
+  } in
+  List.iter (fun seed ->
+    let r = Harness.run ~sched:(Schedule.random ~seed) spec in
+    let rep = Analysis.check spec r in
+    Format.printf "seed=%d: %a@." seed Analysis.pp_report rep)
+    [1;2;3;4;5;6;7;8];
+  let spec3 = {
+    Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:2 ()) pid input);
+    n = 7; m = 2; f = 4; d = 1; inputs = [ Value.Int 1; Value.Int 2; Value.Int 3; Value.Int 4 ];
+  } in
+  List.iter (fun seed ->
+    let r = Harness.run ~sched:(Schedule.random ~seed) spec3 in
+    let rep = Analysis.check spec3 r in
+    Format.printf "f=4 d=1 seed=%d: ok=%b rev=%d hidden=%d%s@." seed rep.Analysis.ok
+      rep.Analysis.stats.Analysis.n_revisions rep.Analysis.stats.Analysis.n_hidden_steps
+      (if rep.Analysis.ok then "" else " ERRORS: " ^ String.concat " | " rep.Analysis.errors))
+    [1;2;3;4;5]

@@ -1,0 +1,25 @@
+open Rsim_value
+open Rsim_protocols
+open Rsim_simulation
+
+let () =
+  (* phase-shifted lockstep vs racing at m = n = 2 *)
+  let procs = List.init 2 (fun pid -> (Racing.protocol ~m:2 ()) pid (Value.Int pid)) in
+  (match Covering_witness.phase_shifted ~procs ~m:2 ~task:Rsim_tasks.Task.consensus ~max_turn:8 with
+   | Some w -> Printf.printf "phase-shifted m=n=2: FOUND (%s) outputs=%s\n" w.Covering_witness.description
+       (String.concat "," (List.map (fun (i,v) -> Printf.sprintf "%d:%s" i (Value.show v)) w.Covering_witness.outputs))
+   | None -> print_endline "phase-shifted m=n=2: none");
+  (* stale writer vs racing at m=1 < n=2 *)
+  let procs1 = List.init 2 (fun pid -> (Racing.protocol ~m:1 ()) pid (Value.Int pid)) in
+  (match Covering_witness.stale_writer ~procs:procs1 ~m:1 ~task:Rsim_tasks.Task.consensus with
+   | Some w -> Printf.printf "stale-writer m=1 n=2: FOUND (%s)\n" w.Covering_witness.description
+   | None -> print_endline "stale-writer m=1 n=2: none");
+  (* adopt2 must survive both *)
+  let a2 = [ Adopt2.proc ~mine:0 ~theirs:1 ~name:"p0" ~input:(Value.Int 1) ();
+             Adopt2.proc ~mine:1 ~theirs:0 ~name:"p1" ~input:(Value.Int 2) () ] in
+  (match Covering_witness.phase_shifted ~procs:a2 ~m:2 ~task:Rsim_tasks.Task.consensus ~max_turn:8 with
+   | Some w -> Printf.printf "adopt2 phase-shifted: BROKEN?! (%s)\n" w.Covering_witness.description
+   | None -> print_endline "adopt2 phase-shifted: survives (as proved)");
+  (match Covering_witness.stale_writer ~procs:a2 ~m:2 ~task:Rsim_tasks.Task.consensus with
+   | Some w -> Printf.printf "adopt2 stale-writer: BROKEN?! (%s)\n" w.Covering_witness.description
+   | None -> print_endline "adopt2 stale-writer: survives (as proved)")

@@ -1,0 +1,1 @@
+examples/approx_bounds.ml: Approx_agreement Core Format List Printf Run Schedule Tables Task Value

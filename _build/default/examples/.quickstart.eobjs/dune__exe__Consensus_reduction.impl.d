@@ -1,0 +1,1 @@
+examples/consensus_reduction.ml: Core Harness List Lower Printf Racing Schedule String Task Value

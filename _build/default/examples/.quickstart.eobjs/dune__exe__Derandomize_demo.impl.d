@@ -1,0 +1,1 @@
+examples/derandomize_demo.ml: Core Derandomize List Mrun Nd_examples Ndproto Printf Rsim_shmem Schedule Value

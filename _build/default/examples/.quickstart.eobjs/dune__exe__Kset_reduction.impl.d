@@ -1,0 +1,1 @@
+examples/kset_reduction.ml: Core Format Harness Lower Printf Racing Schedule Tables Task Upper Value

@@ -1,0 +1,1 @@
+examples/kset_reduction.mli:

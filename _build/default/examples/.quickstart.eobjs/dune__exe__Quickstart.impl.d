@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Aug Aug_spec Core Harness List Printf Racing Rsim_shmem Run Schedule String Value

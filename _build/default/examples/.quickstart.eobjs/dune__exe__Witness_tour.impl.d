@@ -1,0 +1,1 @@
+examples/witness_tour.ml: Analysis Core Covering_witness Format Harness List Printf Racing Schedule Sperner String Task Trace_pp Value

@@ -1,0 +1,50 @@
+(* Approximate agreement (Corollary 34).
+
+   The paper lower-bounds the registers needed for obstruction-free
+   eps-approximate agreement via a reduction to the Hoest-Shavit step
+   complexity lower bound. This example:
+
+   - runs the wait-free round-based midpoint protocol (one register per
+     process, the [9]-style upper bound) across adversarial schedules
+     and checks eps-agreement and validity;
+   - prints the Corollary 34 lower bound against the two known upper
+     bounds across a sweep of eps.
+
+   Run with: dune exec examples/approx_bounds.exe *)
+
+open Core
+
+let () =
+  let eps = 0.05 in
+  let rounds = Approx_agreement.rounds_for ~eps in
+  Printf.printf "protocol: %d rounds for eps = %g, inputs in [0,1]\n" rounds eps;
+  let inputs = [ 0.0; 1.0; 0.25; 0.75 ] in
+  let ok = ref 0 in
+  let runs = 100 in
+  let worst_spread = ref 0.0 in
+  for seed = 0 to runs - 1 do
+    let procs =
+      List.mapi
+        (fun pid v -> (Approx_agreement.protocol ~rounds ()) pid (Value.Float v))
+        inputs
+    in
+    let c = Run.init ~m:(List.length inputs) procs in
+    let c', _ = Run.run ~sched:(Schedule.random ~seed) c in
+    let outs = List.map (fun (_, v) -> Value.as_float_exn v) (Run.outputs c') in
+    let lo = List.fold_left min infinity outs
+    and hi = List.fold_left max neg_infinity outs in
+    worst_spread := max !worst_spread (hi -. lo);
+    match
+      Task.check (Task.approx ~eps)
+        ~inputs:(List.map (fun v -> Value.Float v) inputs)
+        ~outputs:(List.map (fun v -> Value.Float v) outs)
+    with
+    | Ok () -> incr ok
+    | Error e -> Printf.printf "seed %d: %s\n" seed e
+  done;
+  Printf.printf "valid in %d/%d runs; worst output spread %.4f (eps = %g)\n\n" !ok
+    runs !worst_spread eps;
+  print_endline "Corollary 34 lower bound vs upper bounds:";
+  Tables.print_approx Format.std_formatter
+    (Tables.approx_rows ~ns:[ 4; 16; 64; 256 ]
+       ~epss:[ 0.1; 1e-3; 1e-6; 1e-12; 1e-24; 1e-48 ])

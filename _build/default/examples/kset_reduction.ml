@@ -1,0 +1,46 @@
+(* k-set agreement and x-obstruction-freedom (Theorem 21, second case).
+
+   With d = x direct simulators (highest identifiers) and f - x covering
+   simulators, the simulation of an x-obstruction-free protocol is
+   wait-free whenever m <= (n - x)/(f - x), i.e. whenever the protocol
+   is below the Corollary 33 bound with f = k + 1.
+
+   We run the upper-bound regime m = n - k + x [16] with f = 2
+   simulators (1 covering + 1 direct) and check the simulators' outputs
+   against k-set agreement, and print the surrounding bound table.
+
+   Run with: dune exec examples/kset_reduction.exe *)
+
+open Core
+
+let () =
+  let n = 7 and k = 3 and x = 1 in
+  let m = Upper.kset ~n ~k ~x in
+  Printf.printf
+    "k-set agreement: n=%d k=%d x=%d | lower bound %d registers, upper bound %d.\n\n"
+    n k x (Lower.kset ~n ~k ~x) m;
+  let spec =
+    {
+      Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+      n;
+      m;
+      f = 2;
+      d = x;
+      inputs = [ Value.Int 10; Value.Int 20 ];
+    }
+  in
+  print_string (Harness.architecture spec);
+  print_newline ();
+  let ok = ref 0 in
+  let runs = 50 in
+  for seed = 0 to runs - 1 do
+    let result = Harness.run ~sched:(Schedule.random ~seed) spec in
+    match Harness.validate spec result ~task:(Task.kset ~k) with
+    | Ok () -> incr ok
+    | Error e -> Printf.printf "seed %d: %s\n" seed e
+  done;
+  Printf.printf "valid %d-set agreement among the simulators in %d/%d runs.\n\n" k
+    !ok runs;
+  print_endline "Bound landscape (Corollary 33 vs [16]):";
+  Tables.print_kset Format.std_formatter
+    (Tables.kset_rows ~ns:[ n; 2 * n ] ~ks:[ 1; k; n - 1 ] ~xs:[ 1; 2; 3 ])

@@ -1,0 +1,1 @@
+lib/augmented/aug.ml: Array Fun Hrep Int List Rsim_runtime Rsim_value Value Vts

@@ -1,0 +1,1 @@
+lib/augmented/aug.mli: Hrep Rsim_runtime Rsim_shmem Rsim_value Value Vts

@@ -1,0 +1,1 @@
+lib/augmented/aug_spec.ml: Array Aug Format Hashtbl Hrep Int List Rsim_value Value Vts

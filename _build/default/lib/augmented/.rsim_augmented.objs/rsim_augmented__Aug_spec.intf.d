@@ -1,0 +1,1 @@
+lib/augmented/aug_spec.mli: Aug Format Hrep Rsim_value Vts

@@ -1,0 +1,1 @@
+lib/augmented/hrep.ml: Array List Rsim_value Value Vts

@@ -1,0 +1,1 @@
+lib/augmented/hrep.mli: Rsim_value Value Vts

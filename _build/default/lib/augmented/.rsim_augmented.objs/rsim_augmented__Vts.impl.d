@@ -1,0 +1,1 @@
+lib/augmented/vts.ml: Array Format Stdlib String

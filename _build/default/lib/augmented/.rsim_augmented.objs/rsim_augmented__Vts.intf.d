@@ -1,0 +1,1 @@
+lib/augmented/vts.mli: Format

@@ -1,0 +1,224 @@
+open Rsim_value
+
+module Ops = struct
+  type op =
+    | Hscan
+    | Happend_triples of Hrep.triple list
+    | Happend_lrecords of Hrep.lrecord list
+
+  type res = Snap of Hrep.snap | Ack
+
+  let appends_triples = function
+    | Happend_triples (_ :: _) -> true
+    | Happend_triples [] | Hscan | Happend_lrecords _ -> false
+end
+
+module F = Rsim_runtime.Fiber.Make (Ops)
+
+type bu_result =
+  | Atomic of { view : Value.t array; last : Hrep.snap }
+  | Yield
+
+type mop =
+  | Scan_op of {
+      proc : int;
+      start_idx : int;
+      end_idx : int;
+      n_ops : int;
+      view : Value.t array;
+      h : Hrep.snap;
+    }
+  | Bu_op of {
+      proc : int;
+      ts : Vts.t;
+      updates : (int * Value.t) list;
+      start_idx : int;
+      x_idx : int;
+      end_idx : int;
+      n_ops : int;
+      h : Hrep.snap;
+      result : bu_result;
+    }
+
+let mop_proc = function Scan_op { proc; _ } -> proc | Bu_op { proc; _ } -> proc
+
+type t = {
+  f : int;
+  m : int;
+  helping : bool;
+  mutable h : Hrep.snap;
+  mutable clock : int;
+  mutable rev_log : mop list;
+}
+
+let create ?(helping = true) ~f ~m () =
+  if f <= 0 || m <= 0 then invalid_arg "Aug.create: f and m must be positive";
+  { f; m; helping; h = Hrep.create ~f; clock = 0; rev_log = [] }
+
+let f t = t.f
+let m t = t.m
+let log t = List.rev t.rev_log
+let clock t = t.clock
+let h_state t = Array.copy t.h
+
+let apply t ~pid (op : Ops.op) : Ops.res =
+  let res : Ops.res =
+    match op with
+    | Ops.Hscan -> Ops.Snap (Array.copy t.h)
+    | Ops.Happend_triples triples ->
+      let h' = Array.copy t.h in
+      h'.(pid) <- Hrep.append_triples h'.(pid) triples;
+      t.h <- h';
+      Ops.Ack
+    | Ops.Happend_lrecords recs ->
+      let h' = Array.copy t.h in
+      h'.(pid) <- Hrep.append_lrecords h'.(pid) recs;
+      t.h <- h';
+      Ops.Ack
+  in
+  t.clock <- t.clock + 1;
+  res
+
+(* Perform one H operation from inside a fiber and report its global
+   index. The fiber is resumed synchronously after [apply], so
+   [t.clock - 1] is exactly this operation's index. *)
+let do_op t op =
+  let res = F.op op in
+  (res, t.clock - 1)
+
+let hscan t =
+  match do_op t Ops.Hscan with
+  | Ops.Snap s, idx -> (s, idx)
+  | (Ops.Ack, _) -> assert false
+
+let others t ~me =
+  List.filter (fun j -> j <> me) (List.init t.f Fun.id)
+
+(* Algorithm 3. *)
+let scan t ~me =
+  if me < 0 || me >= t.f then invalid_arg "Aug.scan: bad process id";
+  let h0, first_idx = hscan t in
+  let n_ops = ref 1 in
+  let rec loop h =
+    (* Help everyone: L_{me,j}[#h_j] := h for all j ≠ me, in one update.
+       (Skipped by the E9 ablation.) *)
+    if t.helping then begin
+      let cnt = Hrep.counts h in
+      let recs =
+        List.map
+          (fun j -> { Hrep.dest = j; index = cnt.(j); payload = h })
+          (others t ~me)
+      in
+      let _ = do_op t (Ops.Happend_lrecords recs) in
+      incr n_ops
+    end;
+    let h', idx' = hscan t in
+    incr n_ops;
+    if Hrep.equal_triples h h' then (h, idx') else loop h'
+  in
+  let h, end_idx = loop h0 in
+  let view = Hrep.get_view ~m:t.m h in
+  t.rev_log <-
+    Scan_op { proc = me; start_idx = first_idx; end_idx; n_ops = !n_ops; view; h }
+    :: t.rev_log;
+  view
+
+(* Algorithm 4. *)
+let block_update t ~me updates =
+  if me < 0 || me >= t.f then invalid_arg "Aug.block_update: bad process id";
+  (match updates with
+  | [] -> invalid_arg "Aug.block_update: empty update list"
+  | _ ->
+    let comps = List.map fst updates in
+    if List.length (List.sort_uniq Int.compare comps) <> List.length comps then
+      invalid_arg "Aug.block_update: components must be distinct";
+    if List.exists (fun j -> j < 0 || j >= t.m) comps then
+      invalid_arg "Aug.block_update: component out of range");
+  (* Line 2 *)
+  let h, start_idx = hscan t in
+  (* Line 3 *)
+  let ts = Hrep.new_timestamp h ~me in
+  (* Line 4: X *)
+  let triples =
+    List.map (fun (j, v) -> { Hrep.comp = j; value = v; ts }) updates
+  in
+  let _, x_idx = do_op t (Ops.Happend_triples triples) in
+  (* Line 5 *)
+  let g, _ = hscan t in
+  (* Lines 6-7: help lower identifiers, one update. (Skipped by the E9
+     ablation; the scan on Line 5 is kept so the yield check's timing is
+     unchanged.) *)
+  if t.helping then begin
+    let gcnt = Hrep.counts g in
+    let recs =
+      List.filter_map
+        (fun j ->
+          if j < me then Some { Hrep.dest = j; index = gcnt.(j); payload = g }
+          else None)
+        (List.init t.f Fun.id)
+    in
+    let _ = do_op t (Ops.Happend_lrecords recs) in
+    ()
+  end;
+  (* Line 8 *)
+  let h', end_idx5 = hscan t in
+  (* Line 9: yield iff a lower-identifier process appended new triples. *)
+  let hcnt = Hrep.counts h in
+  let h'cnt = Hrep.counts h' in
+  let new_lower =
+    List.exists (fun j -> j < me && h'cnt.(j) > hcnt.(j)) (List.init t.f Fun.id)
+  in
+  if new_lower then begin
+    t.rev_log <-
+      Bu_op
+        {
+          proc = me;
+          ts;
+          updates;
+          start_idx;
+          x_idx;
+          end_idx = end_idx5;
+          n_ops = (if t.helping then 5 else 4);
+          h;
+          result = Yield;
+        }
+      :: t.rev_log;
+    `Yield
+  end
+  else begin
+    (* Lines 12-15: read L_{j,me}[#h_me] for all j ≠ me, in one scan.
+       The E9 ablation skips the reads and falls back to the Line-2 scan
+       result — exactly the stale view the helping mechanism exists to
+       refresh. *)
+    let last = ref h in
+    let end_idx =
+      if not t.helping then end_idx5
+      else begin
+        let r_snap, end_idx = hscan t in
+        let b = hcnt.(me) in
+        List.iter
+          (fun j ->
+            match Hrep.read_l r_snap ~writer:j ~reader:me ~index:b with
+            | Some rj when Hrep.is_proper_prefix !last rj -> last := rj
+            | Some _ | None -> ())
+          (others t ~me);
+        end_idx
+      end
+    in
+    let view = Hrep.get_view ~m:t.m !last in
+    t.rev_log <-
+      Bu_op
+        {
+          proc = me;
+          ts;
+          updates;
+          start_idx;
+          x_idx;
+          end_idx;
+          n_ops = (if t.helping then 6 else 4);
+          h;
+          result = Atomic { view; last = !last };
+        }
+      :: t.rev_log;
+    `View view
+  end

@@ -1,0 +1,85 @@
+open Rsim_value
+
+type triple = { comp : int; value : Value.t; ts : Vts.t }
+
+type lrecord = { dest : int; index : int; payload : snap }
+
+and component = { triples : triple list; lrecords : lrecord list }
+
+and snap = component array
+
+let empty_component = { triples = []; lrecords = [] }
+let create ~f = Array.make f empty_component
+
+let count_bu c =
+  (* Triples of one Block-Update share a timestamp and are appended
+     together, so counting groups of equal adjacent timestamps counts
+     Block-Updates. *)
+  let rec go last n = function
+    | [] -> n
+    | t :: rest -> (
+      match last with
+      | Some ts when Vts.equal ts t.ts -> go last n rest
+      | _ -> go (Some t.ts) (n + 1) rest)
+  in
+  go None 0 c.triples
+
+let counts h = Array.map count_bu h
+
+let append_triples c ts = { c with triples = c.triples @ ts }
+let append_lrecords c ls = { c with lrecords = c.lrecords @ ls }
+
+let triple_equal a b =
+  a.comp = b.comp && Value.equal a.value b.value && Vts.equal a.ts b.ts
+
+let rec list_is_prefix eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> eq x y && list_is_prefix eq xs' ys'
+
+let equal_triples a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ca cb ->
+         List.length ca.triples = List.length cb.triples
+         && List.for_all2 triple_equal ca.triples cb.triples)
+       a b
+
+let is_prefix a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun ca cb -> list_is_prefix triple_equal ca.triples cb.triples) a b
+
+let is_proper_prefix a b = is_prefix a b && not (equal_triples a b)
+
+let all_triples h =
+  let acc = ref [] in
+  Array.iteri (fun writer c -> List.iter (fun t -> acc := (writer, t) :: !acc) c.triples) h;
+  List.rev !acc
+
+let get_view ~m h =
+  let view = Array.make m Value.Bot in
+  let best = Array.make m None in
+  List.iter
+    (fun (_, t) ->
+      if t.comp >= 0 && t.comp < m then
+        match best.(t.comp) with
+        | Some ts when Vts.geq ts t.ts -> ()
+        | _ ->
+          best.(t.comp) <- Some t.ts;
+          view.(t.comp) <- t.value)
+    (all_triples h);
+  view
+
+let new_timestamp h ~me = Vts.make ~counts:(counts h) ~me
+
+let read_l h ~writer ~reader ~index =
+  let matching =
+    List.filter (fun l -> l.dest = reader && l.index = index) h.(writer).lrecords
+  in
+  match List.rev matching with
+  | [] -> None
+  | last :: _ -> Some last.payload
+
+let contains_ts h ts =
+  List.exists (fun (_, t) -> Vts.equal t.ts ts) (all_triples h)

@@ -1,0 +1,29 @@
+type t = int array
+
+let make ~counts ~me =
+  let t = Array.copy counts in
+  if me < 0 || me >= Array.length t then invalid_arg "Vts.make: me out of range";
+  t.(me) <- t.(me) + 1;
+  t
+
+let compare (a : t) (b : t) =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Vts.compare: length mismatch";
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Stdlib.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+let geq a b = compare a b >= 0
+let to_array = Array.copy
+let of_array = Array.copy
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))
+
+let show t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/bounds/tables.ml: Format List Lower String Upper

@@ -1,0 +1,1 @@
+lib/bounds/upper.mli:

@@ -1,0 +1,46 @@
+let thm21_unsolvable ~n ~f ~x =
+  if not (0 <= x && x < f) then invalid_arg "Lower.thm21_unsolvable: need 0 <= x < f";
+  if n < f then invalid_arg "Lower.thm21_unsolvable: need n >= f";
+  ((n - x) / (f - x)) + 1
+
+let kset ~n ~k ~x =
+  if not (1 <= x && x <= k && k < n) then
+    invalid_arg "Lower.kset: need 1 <= x <= k < n";
+  (* Theorem 21 with f = k + 1 (wait-free k-set agreement is unsolvable
+     among k + 1 processes). *)
+  thm21_unsolvable ~n ~f:(k + 1) ~x
+
+let consensus ~n =
+  if n < 2 then invalid_arg "Lower.consensus: need n >= 2";
+  kset ~n ~k:1 ~x:1
+
+let nminus1_set ~n =
+  if n < 3 then invalid_arg "Lower.nminus1_set: need n >= 3";
+  kset ~n ~k:(n - 1) ~x:1
+
+let thm21_step_complexity ~n ~f ~step_lower_bound =
+  if n < f || f < 1 then invalid_arg "Lower.thm21_step_complexity: need n >= f >= 1";
+  if step_lower_bound <= 1.0 then 1
+  else begin
+    let a = (n / f) + 1 in
+    let b =
+      int_of_float (floor (sqrt (log step_lower_bound /. log 2.0 /. float_of_int f)))
+    in
+    max 1 (min a b)
+  end
+
+let approx ~n ~eps =
+  if n < 2 then invalid_arg "Lower.approx: need n >= 2";
+  if not (0.0 < eps && eps < 1.0) then invalid_arg "Lower.approx: need 0 < eps < 1";
+  (* Hoest-Shavit: two-process eps-approximate agreement takes at least
+     L = (1/2) log_3 (1/eps) steps; apply Theorem 21 with f = 2.
+     Corollary 34 simplifies the min to
+     min{ floor(n/2)+1, sqrt(log2 log3 (1/eps)) - 2 }. *)
+  let a = (n / 2) + 1 in
+  let log3 x = log x /. log 3.0 in
+  let inner = log3 (1.0 /. eps) in
+  if inner <= 1.0 then 1
+  else begin
+    let b = int_of_float (floor (sqrt (log inner /. log 2.0) -. 2.0)) in
+    max 1 (min a b)
+  end

@@ -1,0 +1,31 @@
+(** The paper's space lower bounds, as closed-form functions.
+
+    All bounds count registers; an [m]-component snapshot counts as [m]
+    registers (§2). *)
+
+(** Corollary 33: any [x]-obstruction-free protocol solving [k]-set
+    agreement among [n > k] processes uses at least
+    [⌊(n − x)/(k + 1 − x)⌋ + 1] registers. Requires [1 ≤ x ≤ k < n]. *)
+val kset : n:int -> k:int -> x:int -> int
+
+(** The consensus specialization ([k = x = 1]): exactly [n] registers. *)
+val consensus : n:int -> int
+
+(** The (n−1)-set agreement specialization: [2] registers. *)
+val nminus1_set : n:int -> int
+
+(** Corollary 34: any obstruction-free protocol for ε-approximate
+    agreement among [n ≥ 2] processes uses at least
+    [min{⌊n/2⌋ + 1, √(log₂ log₃(1/ε)) − 2}] registers (we floor the
+    square-root term). Requires [0 < eps < 1]. *)
+val approx : n:int -> eps:float -> int
+
+(** Theorem 21, first case: if [L] lower-bounds the wait-free step
+    complexity of the task for [f] processes, an obstruction-free
+    protocol needs [m ≥ min{⌊n/f⌋ + 1, √(log₂(L)/f)}] components. *)
+val thm21_step_complexity : n:int -> f:int -> step_lower_bound:float -> int
+
+(** Theorem 21, second case: if the task is unsolvable wait-free among
+    [f] processes, an [x]-obstruction-free protocol ([x < f]) needs
+    [m ≥ ⌊(n − x)/(f − x)⌋ + 1] components. *)
+val thm21_unsolvable : n:int -> f:int -> x:int -> int

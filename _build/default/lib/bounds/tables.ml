@@ -1,0 +1,81 @@
+type kset_row = {
+  n : int;
+  k : int;
+  x : int;
+  lower : int;
+  upper : int;
+  tight : bool;
+}
+
+let kset_rows ~ns ~ks ~xs =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun k ->
+          List.filter_map
+            (fun x ->
+              if 1 <= x && x <= k && k < n then begin
+                let lower = Lower.kset ~n ~k ~x in
+                let upper = Upper.kset ~n ~k ~x in
+                Some { n; k; x; lower; upper; tight = lower = upper }
+              end
+              else None)
+            xs)
+        ks)
+    ns
+
+type approx_row = {
+  a_n : int;
+  eps : float;
+  a_lower : int;
+  upper_schenk : int;
+  upper_n : int;
+}
+
+let approx_rows ~ns ~epss =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun eps ->
+          {
+            a_n = n;
+            eps;
+            a_lower = Lower.approx ~n ~eps;
+            upper_schenk = Upper.approx_schenk ~eps;
+            upper_n = Upper.approx_alsn ~n;
+          })
+        epss)
+    ns
+
+let print_kset fmt rows =
+  Format.fprintf fmt "%4s %4s %4s | %8s %8s %6s@." "n" "k" "x" "lower" "upper"
+    "tight";
+  Format.fprintf fmt "%s@." (String.make 42 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%4d %4d %4d | %8d %8d %6s@." r.n r.k r.x r.lower
+        r.upper
+        (if r.tight then "yes" else ""))
+    rows
+
+let print_approx fmt rows =
+  Format.fprintf fmt "%4s %12s | %8s %10s %8s@." "n" "eps" "lower" "Schenk[43]"
+    "ALS[9]";
+  Format.fprintf fmt "%s@." (String.make 50 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%4d %12g | %8d %10d %8d@." r.a_n r.eps r.a_lower
+        r.upper_schenk r.upper_n)
+    rows
+
+let print_headline fmt ~ns =
+  Format.fprintf fmt "%4s | %14s %14s | %16s %10s@." "n" "consensus lower"
+    "upper" "(n-1)-set lower" "upper";
+  Format.fprintf fmt "%s@." (String.make 70 '-');
+  List.iter
+    (fun n ->
+      if n >= 3 then
+        Format.fprintf fmt "%4d | %14d %14d | %16d %10d@." n
+          (Lower.consensus ~n) (Upper.consensus ~n) (Lower.nminus1_set ~n)
+          (Upper.kset ~n ~k:(n - 1) ~x:1))
+    ns

@@ -1,0 +1,21 @@
+let kset ~n ~k ~x =
+  if not (1 <= x && x <= k && k < n) then
+    invalid_arg "Upper.kset: need 1 <= x <= k < n";
+  n - k + x
+
+let consensus ~n =
+  if n < 2 then invalid_arg "Upper.consensus: need n >= 2";
+  n
+
+let approx_schenk ~eps =
+  if not (0.0 < eps && eps < 1.0) then
+    invalid_arg "Upper.approx_schenk: need 0 < eps < 1";
+  int_of_float (ceil (log (1.0 /. eps) /. log 2.0))
+
+let approx_alsn ~n =
+  if n < 2 then invalid_arg "Upper.approx_alsn: need n >= 2";
+  n
+
+let kset_committee ~n =
+  if n < 1 then invalid_arg "Upper.kset_committee: need n >= 1";
+  n

@@ -1,0 +1,20 @@
+(** Known upper bounds the paper compares against. *)
+
+(** Bouzid–Raynal–Sutra [16]: [x]-obstruction-free [k]-set agreement with
+    [n − k + x] registers (anonymous processes). *)
+val kset : n:int -> k:int -> x:int -> int
+
+(** Obstruction-free / randomized wait-free consensus with [n] registers
+    ([1, 3, 40, 5], [30, 17, 47, 16]). *)
+val consensus : n:int -> int
+
+(** Schenk [43]: ε-approximate agreement with [⌈log₂(1/ε)⌉] registers. *)
+val approx_schenk : eps:float -> int
+
+(** Attiya–Lynch–Shavit [9]: wait-free ε-approximate agreement with [n]
+    single-writer registers. *)
+val approx_alsn : n:int -> int
+
+(** The trivial committee upper bound implemented in
+    {!Rsim_protocols.Committee}: [n] registers for k-set agreement. *)
+val kset_committee : n:int -> int

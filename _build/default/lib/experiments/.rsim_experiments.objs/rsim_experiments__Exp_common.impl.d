@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Aug Core Harness List Printf Prng Racing Schedule Value

@@ -1,0 +1,51 @@
+open Core
+
+let aug_workload ~f ~m ~n_ops ~seed =
+  let aug = Aug.create ~f ~m () in
+  let body pid =
+    let g = ref (Prng.make (seed + (1000 * pid))) in
+    let draw n =
+      let k, g' = Prng.int !g n in
+      g := g';
+      k
+    in
+    for _ = 1 to n_ops do
+      if draw 3 = 0 then ignore (Aug.scan aug ~me:pid)
+      else begin
+        let r = 1 + draw (min m 3) in
+        let comps = ref [] in
+        while List.length !comps < r do
+          let j = draw m in
+          if not (List.mem j !comps) then comps := j :: !comps
+        done;
+        let updates = List.map (fun j -> (j, Value.Int (draw 100))) !comps in
+        ignore (Aug.block_update aug ~me:pid updates)
+      end
+    done
+  in
+  let result =
+    Aug.F.run ~max_ops:100_000
+      ~sched:(Schedule.random ~seed)
+      ~apply:(Aug.apply aug)
+      (List.init f (fun _ -> body))
+  in
+  (aug, result.Aug.F.trace)
+
+let racing_sim ~n ~m ~f ~d ~seed =
+  let spec =
+    {
+      Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+      n;
+      m;
+      f;
+      d;
+      inputs = List.init f (fun p -> Value.Int (p + 1));
+    }
+  in
+  let result = Harness.run ~sched:(Schedule.random ~seed) spec in
+  (spec, result)
+
+let fmt_row fmt = Printf.sprintf fmt
+
+let pct num den =
+  if den = 0 then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)

@@ -1,0 +1,21 @@
+(** The experiment registry (DESIGN.md §3, EXPERIMENTS.md).
+
+    Each experiment regenerates one of the paper's checkable claims as a
+    plain-text table. All experiments are deterministic: every random
+    choice flows from hard-coded seeds, so the tables in EXPERIMENTS.md
+    are exactly reproducible. *)
+
+type t = {
+  id : string;  (** "E1" .. "E10" *)
+  title : string;
+  run : unit -> string list;  (** table lines *)
+}
+
+(** All experiments, in presentation order. *)
+val all : t list
+
+(** Case-insensitive lookup by id. *)
+val find : string -> t option
+
+(** Run and print every experiment. *)
+val print_all : Format.formatter -> unit

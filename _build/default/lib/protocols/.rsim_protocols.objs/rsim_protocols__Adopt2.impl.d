@@ -1,0 +1,1 @@
+lib/protocols/adopt2.ml: Array Proc Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/adopt2.mli: Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/approx_agreement.ml: Array List Printf Proc Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/approx_agreement.mli: Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/committee.ml: Adopt2 List Pathological Printf Racing

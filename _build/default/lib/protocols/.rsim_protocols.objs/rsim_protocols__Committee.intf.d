@@ -1,0 +1,1 @@
+lib/protocols/committee.mli: Rsim_shmem Rsim_value Value

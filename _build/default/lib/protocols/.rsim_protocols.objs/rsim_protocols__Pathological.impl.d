@@ -1,0 +1,1 @@
+lib/protocols/pathological.ml: Array Proc Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/pathological.mli: Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/racing.ml: Array Fun Int List Printf Proc Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/racing.mli: Rsim_shmem Rsim_value Value

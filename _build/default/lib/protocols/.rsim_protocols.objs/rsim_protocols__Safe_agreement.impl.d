@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.ml: Array List Rsim_runtime Rsim_value Value

@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.mli: Rsim_runtime Rsim_shmem Rsim_value Value

@@ -1,0 +1,29 @@
+open Rsim_value
+open Rsim_shmem
+
+type state =
+  | Start  (** Assumption 1: begin with a scan (result unused) *)
+  | Publish of Value.t  (** poised to write this value to own component *)
+  | Check of Value.t  (** own component holds this value; poised to scan *)
+  | Out of Value.t
+
+let proc ~mine ~theirs ~name ~input () =
+  if mine = theirs then invalid_arg "Adopt2.proc: components must differ";
+  let poised = function
+    | Start -> Proc.Scan
+    | Publish v -> Proc.Update (mine, v)
+    | Check _ -> Proc.Scan
+    | Out v -> Proc.Output v
+  in
+  let on_scan s view =
+    match s with
+    | Start -> Publish input
+    | Check v -> (
+      match view.(theirs) with
+      | Value.Bot -> Out v
+      | u when Value.equal u v -> Out v
+      | u -> Publish u (* adopt the other's value and retry *))
+    | Publish _ | Out _ -> s
+  in
+  let on_update = function Publish v -> Check v | s -> s in
+  Proc.make ~name ~init:Start ~poised ~on_scan ~on_update

@@ -1,0 +1,27 @@
+(** Two-process obstruction-free consensus on two single-writer
+    components — a {e provably correct} comparator.
+
+    Each of the two processes owns one component. A process first
+    publishes its current value, then scans: if the other component is
+    empty or agrees, it decides its value; otherwise it adopts the
+    other's value, republishes, and retries.
+
+    Correctness (unlike {!Racing}, this argument is airtight):
+    - {b Validity}: values only enter components from inputs or adoption.
+    - {b Agreement}: suppose p decides x and q later decides y. When p
+      decided, p's own component held x, and it never changes afterwards;
+      q's deciding scan therefore sees x in p's component, so it can only
+      decide y = x. (Scans of the snapshot are atomic, hence totally
+      ordered; the earlier decider's component is frozen.)
+    - {b Obstruction-freedom}: running solo, the other component is
+      frozen; after at most one adoption the values match and the process
+      decides within 4 steps.
+
+    Satisfies Assumption 1 (scan first, alternate, decide at a scan). *)
+
+open Rsim_value
+
+(** [proc ~mine ~theirs ~name ~input ()]: [mine] is the component this
+    process writes, [theirs] the component it reads. *)
+val proc :
+  mine:int -> theirs:int -> name:string -> input:Value.t -> unit -> Rsim_shmem.Proc.t

@@ -1,0 +1,74 @@
+open Rsim_value
+open Rsim_shmem
+
+let rounds_for ~eps =
+  if eps <= 0.0 then invalid_arg "Approx_agreement.rounds_for: eps <= 0";
+  if eps >= 1.0 then 1
+  else int_of_float (ceil (log (1.0 /. eps) /. log 2.0)) + 2
+
+type phase = To_scan | To_write | Done_ of float
+
+type state = { r : int; v : float; phase : phase }
+
+let encode r v = Value.Pair (Value.Int r, Value.Float v)
+
+let decode cell =
+  match cell with
+  | Value.Pair (Value.Int r, Value.Float v) -> Some (r, v)
+  | _ -> None
+
+let midpoint vs =
+  match vs with
+  | [] -> None
+  | v :: _ ->
+    let lo = List.fold_left min v vs and hi = List.fold_left max v vs in
+    Some ((lo +. hi) /. 2.0)
+
+let proc ~slot ~rounds ~input () =
+  if rounds < 1 then invalid_arg "Approx_agreement.proc: rounds < 1";
+  let v0 = Value.as_float_exn input in
+  let poised s =
+    match s.phase with
+    | To_scan -> Proc.Scan
+    | To_write -> Proc.Update (slot, encode s.r s.v)
+    | Done_ v -> Proc.Output (Value.Float v)
+  in
+  let on_scan s view =
+    let entries =
+      Array.to_list view |> List.filter_map decode
+    in
+    let rmax = List.fold_left (fun acc (r, _) -> max acc r) s.r entries in
+    let s' =
+      if rmax > s.r then begin
+        (* Jump: adopt the midpoint of the frontier. *)
+        let front = List.filter_map (fun (r, v) -> if r = rmax then Some v else None) entries in
+        match midpoint front with
+        | Some v -> { s with r = rmax; v }
+        | None -> { s with r = rmax }
+      end
+      else begin
+        (* At the front: midpoint of frontier values (including our own)
+           and advance. *)
+        let front =
+          s.v
+          :: List.filter_map (fun (r, v) -> if r = s.r then Some v else None) entries
+        in
+        match midpoint front with
+        | Some v -> { s with r = s.r + 1; v }
+        | None -> { s with r = s.r + 1 }
+      end
+    in
+    if s'.r > rounds then { s' with phase = Done_ s'.v }
+    else { s' with phase = To_write }
+  in
+  let on_update s = { s with phase = To_scan } in
+  Proc.make
+    ~name:(Printf.sprintf "approx%d" slot)
+    ~init:{ r = 0; v = v0; phase = To_scan }
+    ~poised ~on_scan ~on_update
+
+let protocol ~rounds () =
+  fun pid input -> proc ~slot:pid ~rounds ~input ()
+
+let protocol_shared ~rounds ~m () =
+  fun pid input -> proc ~slot:(pid mod m) ~rounds ~input ()

@@ -1,0 +1,40 @@
+let sizes ~n ~k =
+  if k < 1 || k > n then invalid_arg "Committee: need 1 <= k <= n";
+  List.init k (fun g -> (n / k) + if g < n mod k then 1 else 0)
+
+let offsets ~n ~k =
+  let szs = sizes ~n ~k in
+  let rec go acc off = function
+    | [] -> List.rev acc
+    | s :: rest -> go ((off, s) :: acc) (off + s) rest
+  in
+  go [] 0 szs
+
+let committee_of ~n ~k ~pid =
+  if pid < 0 || pid >= n then invalid_arg "Committee.committee_of: bad pid";
+  let rec find g = function
+    | (off, s) :: rest -> if pid < off + s then g else find (g + 1) rest
+    | [] -> assert false
+  in
+  find 0 (offsets ~n ~k)
+
+let bank_of ~n ~k ~g =
+  match List.nth_opt (offsets ~n ~k) g with
+  | Some (off, s) -> List.init s (fun i -> off + i)
+  | None -> invalid_arg "Committee.bank_of: bad committee"
+
+let protocol ~n ~k ?(decide_round = 1) () =
+  fun pid input ->
+    let g = committee_of ~n ~k ~pid in
+    let name = Printf.sprintf "committee%d.%d" g pid in
+    match bank_of ~n ~k ~g with
+    | [ _ ] ->
+      (* Alone in the committee: decide own input at the first scan. *)
+      Pathological.constant ~name ~output:input
+    | [ a; b ] ->
+      (* Pairs get the provably correct two-process protocol. *)
+      let mine, theirs = if pid = a then (a, b) else (b, a) in
+      Adopt2.proc ~mine ~theirs ~name ~input ()
+    | bank ->
+      (* Larger committees race (heuristic; see {!Racing}). *)
+      Racing.proc ~bank ~decide_round ~name ~input ()

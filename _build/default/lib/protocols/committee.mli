@@ -1,0 +1,27 @@
+(** Committee-based k-set agreement: a simple, correct baseline.
+
+    The [n] processes are split into [k] committees; committee [g] runs
+    consensus on its own bank of registers, sized to the committee, and
+    a process outputs its committee's consensus value. At most [k]
+    distinct values are output, each some process's input. Total space:
+    [n] registers — the trivial upper bound the paper contrasts with
+    [n - k + x] [16].
+
+    Committee consensus: singleton committees decide their own input;
+    pairs run the provably correct {!Adopt2}; larger committees run the
+    heuristic {!Racing} (see its caveats). Hence for [k ≥ ⌈n/2⌉] the
+    protocol is provably a correct obstruction-free k-set agreement. *)
+
+open Rsim_value
+
+(** Committee of process [pid] among [n] processes and [k] committees
+    (contiguous blocks, the first [n mod k] blocks one larger). *)
+val committee_of : n:int -> k:int -> pid:int -> int
+
+(** The bank (component indices) of committee [g]. Banks partition
+    [0 .. n-1]. *)
+val bank_of : n:int -> k:int -> g:int -> int list
+
+(** Factory for the simulation harness; uses [m = n] components. *)
+val protocol :
+  n:int -> k:int -> ?decide_round:int -> unit -> int -> Value.t -> Rsim_shmem.Proc.t

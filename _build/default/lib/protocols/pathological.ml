@@ -1,0 +1,38 @@
+open Rsim_value
+open Rsim_shmem
+
+let spinner ~name =
+  let poised (ph, k) =
+    if ph = 0 then Proc.Scan else Proc.Update (0, Value.Int k)
+  in
+  Proc.make ~name ~init:(0, 0) ~poised
+    ~on_scan:(fun (_, k) _ -> (1, k))
+    ~on_update:(fun (_, k) -> (0, k + 1))
+
+let constant ~name ~output =
+  let poised scanned = if scanned then Proc.Output output else Proc.Scan in
+  Proc.make ~name ~init:false ~poised
+    ~on_scan:(fun _ _ -> true)
+    ~on_update:(fun s -> s)
+
+let echo_first ~name ~input =
+  let poised = function
+    | `Start | `Scanned None -> Proc.Scan
+    | `Scanned (Some v) -> Proc.Output v
+  in
+  Proc.make ~name ~init:`Start ~poised
+    ~on_scan:(fun _ view ->
+      match Array.find_opt (fun v -> not (Value.is_bot v)) view with
+      | Some v -> `Scanned (Some v)
+      | None -> `Scanned (Some input))
+    ~on_update:(fun s -> s)
+
+let churner ~name ~input ~writes =
+  let poised (ph, left) =
+    if ph = 0 then Proc.Scan
+    else if left = 0 then Proc.Output input
+    else Proc.Update (0, input)
+  in
+  Proc.make ~name ~init:(0, max 1 writes) ~poised
+    ~on_scan:(fun (_, left) _ -> (1, left))
+    ~on_update:(fun (_, left) -> (0, left - 1))

@@ -1,0 +1,23 @@
+(** Deliberately ill-behaved protocols, for failure injection in tests.
+
+    The simulation and the execution engine must either tolerate or
+    loudly reject these. *)
+
+open Rsim_value
+
+(** Scans and rewrites component 0 forever; never outputs. Not
+    obstruction-free. *)
+val spinner : name:string -> Rsim_shmem.Proc.t
+
+(** Outputs [output] immediately after its first scan (takes one step). *)
+val constant : name:string -> output:Value.t -> Rsim_shmem.Proc.t
+
+(** After its first scan, outputs the first non-⊥ component value it saw,
+    or its own input if memory was empty. Valid-looking but violates
+    agreement; useful for checking that task validation catches broken
+    protocols. *)
+val echo_first : name:string -> input:Value.t -> Rsim_shmem.Proc.t
+
+(** Writes [writes] times to component 0 and then outputs its input:
+    parameterizes how long a process keeps the memory churning. *)
+val churner : name:string -> input:Value.t -> writes:int -> Rsim_shmem.Proc.t

@@ -1,0 +1,44 @@
+(** Round-racing obstruction-free consensus over [m] snapshot components.
+
+    The protocol is anonymous and memoryless in the style of the
+    upper-bound comparators the paper cites ([16], [47]): each register
+    holds a pair [(round, value)]; a process repeatedly scans, adopts the
+    lexicographically largest [(round, value)] it sees if that beats its
+    own, and otherwise writes its own pair into the first register that
+    differs. When it sees all registers of its bank equal to its own pair
+    it advances one round; it decides after observing a full bank at
+    round ≥ [decide_round].
+
+    Properties:
+    - {b Obstruction-free}: running solo, a process fills its bank and
+      decides within [O(m · decide_round)] steps.
+    - {b Validity}: the decided value is some process's input (values
+      only enter memory from inputs and adoption).
+    - {b Agreement is heuristic, not guaranteed} — deliberately so.
+      A phase-shifted covering adversary can interleave two processes so
+      that each only ever observes dominated or equal-round entries of
+      the other and both complete private round sweeps, even with a bank
+      of [m = n] registers (about 0.1% of uniformly random 2-process
+      schedules exhibit this). This is the library's {e adversarially
+      breakable comparator}: the witness experiments (E5b) drive the
+      revisionist simulation to construct exactly such executions,
+      illustrating why the space bounds of Corollary 33 are about what
+      {e any} protocol must withstand. For a provably correct consensus
+      building block see {!Adopt2}; for correct k-set agreement built
+      from it see {!Committee}.
+
+    Satisfies Assumption 1: alternates scan and update, starting with a
+    scan, deciding only at a scan. *)
+
+open Rsim_value
+
+(** [proc ~bank ?decide_round ~name ~input ()] is a process racing on the
+    components listed in [bank] (distinct, in increasing order of
+    preference). [decide_round] defaults to 1 (one confirmation round). *)
+val proc :
+  bank:int list -> ?decide_round:int -> name:string -> input:Value.t -> unit -> Rsim_shmem.Proc.t
+
+(** [protocol ~m ?decide_round ()] is a factory for the simulation
+    harness: every process races on all [m] components. *)
+val protocol :
+  m:int -> ?decide_round:int -> unit -> int -> Value.t -> Rsim_shmem.Proc.t

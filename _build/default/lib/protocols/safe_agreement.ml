@@ -1,0 +1,68 @@
+open Rsim_value
+
+module Ops = struct
+  type op = Sa_scan | Sa_write of Value.t
+  type res = Sa_view of Value.t array | Sa_ack
+end
+
+module F = Rsim_runtime.Fiber.Make (Ops)
+
+(* Component i holds (level, value) for process i, encoded as a pair;
+   Bot = (0, Bot). *)
+type t = { f : int; mutable cells : Value.t array }
+
+let create ~f =
+  if f <= 0 then invalid_arg "Safe_agreement.create: f must be positive";
+  { f; cells = Array.make f Value.Bot }
+
+let apply t ~pid (op : Ops.op) : Ops.res =
+  match op with
+  | Ops.Sa_scan -> Ops.Sa_view (Array.copy t.cells)
+  | Ops.Sa_write v ->
+    let cells = Array.copy t.cells in
+    cells.(pid) <- v;
+    t.cells <- cells;
+    Ops.Sa_ack
+
+let decode cell =
+  match cell with
+  | Value.Bot -> (0, Value.Bot)
+  | Value.Pair (Value.Int level, v) -> (level, v)
+  | _ -> failwith "Safe_agreement: malformed cell"
+
+let encode level v = Value.Pair (Value.Int level, v)
+
+let sa_scan () =
+  match F.op Ops.Sa_scan with
+  | Ops.Sa_view view -> Array.map decode view
+  | Ops.Sa_ack -> assert false
+
+let sa_write v = ignore (F.op (Ops.Sa_write v))
+
+let propose _t ~me:_ v =
+  (* level 1: entering the unsafe window *)
+  sa_write (encode 1 v);
+  let view = sa_scan () in
+  if Array.exists (fun (level, _) -> level = 2) view then
+    (* someone already settled: retreat *)
+    sa_write (encode 0 v)
+  else sa_write (encode 2 v)
+
+let read _t ~me:_ ~max_spins =
+  let rec spin k =
+    if k = 0 then None
+    else begin
+      let view = sa_scan () in
+      if Array.exists (fun (level, _) -> level = 1) view then spin (k - 1)
+      else begin
+        (* no one unsafe: the settled set is now stable enough to read *)
+        let settled =
+          Array.to_list view |> List.filter (fun (level, _) -> level = 2)
+        in
+        match settled with
+        | (_, v) :: _ -> Some v
+        | [] -> spin (k - 1) (* nobody proposed yet *)
+      end
+    end
+  in
+  spin max_spins

@@ -1,0 +1,1 @@
+lib/regsnap/regsnap.ml: Array List Rsim_runtime Rsim_value Value

@@ -1,0 +1,1 @@
+lib/regsnap/regsnap.mli: Rsim_runtime Rsim_shmem Rsim_value Value

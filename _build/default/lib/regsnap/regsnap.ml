@@ -1,0 +1,126 @@
+open Rsim_value
+
+module Ops = struct
+  type op = Read of int | Write of int * Value.t
+  type res = Got of Value.t | Ack
+end
+
+module F = Rsim_runtime.Fiber.Make (Ops)
+
+type cell = { value : Value.t; seq : int; view : Value.t array }
+
+let bot_cell = { value = Value.Bot; seq = 0; view = [||] }
+
+type hop =
+  | Update_op of { proc : int; value : Value.t; inv : int; ret : int; n_ops : int }
+  | Scan_op of {
+      proc : int;
+      view : Value.t array;
+      inv : int;
+      ret : int;
+      borrowed : bool;
+      n_ops : int;  (* this process's own register steps *)
+    }
+
+type t = {
+  f : int;
+  regs : cell array;  (* register i written only by process i *)
+  mutable clock : int;
+  mutable rev_history : hop list;
+}
+
+let create ~f =
+  if f <= 0 then invalid_arg "Regsnap.create: f must be positive";
+  { f; regs = Array.make f bot_cell; clock = 0; rev_history = [] }
+
+(* Registers hold [cell]s, but the fiber op interface carries [Value.t];
+   we smuggle the cell through an association table keyed by a fresh
+   handle. Simpler and faithful alternative: encode the cell as a
+   Value.t. We encode: Pair (value, Pair (Int seq, List view)). *)
+let encode c =
+  Value.Pair (c.value, Value.Pair (Value.Int c.seq, Value.List (Array.to_list c.view)))
+
+let decode v =
+  match v with
+  | Value.Bot -> bot_cell
+  | Value.Pair (value, Value.Pair (Value.Int seq, Value.List view)) ->
+    { value; seq; view = Array.of_list view }
+  | _ -> failwith "Regsnap.decode: malformed register contents"
+
+let apply t ~pid (op : Ops.op) : Ops.res =
+  let res : Ops.res =
+    match op with
+    | Ops.Read i -> Ops.Got (encode t.regs.(i))
+    | Ops.Write (i, v) ->
+      if i <> pid then failwith "Regsnap: single-writer violation";
+      t.regs.(i) <- decode v;
+      Ops.Ack
+  in
+  t.clock <- t.clock + 1;
+  res
+
+let read _t i =
+  match F.op (Ops.Read i) with
+  | Ops.Got v -> decode v
+  | Ops.Ack -> assert false
+
+let write _t ~me c = ignore (F.op (Ops.Write (me, encode c)))
+
+let collect t = Array.init t.f (fun i -> read t i)
+
+let values_of collect_result = Array.map (fun c -> c.value) collect_result
+
+let same_seqs a b =
+  Array.for_all2 (fun (ca : cell) cb -> ca.seq = cb.seq) a b
+
+(* The AADGMS scan. Returns (view, borrowed, inv clock, own steps). *)
+let scan_inner t =
+  let inv = t.clock in
+  let moved = Array.make t.f false in
+  let steps = ref 0 in
+  let collect t =
+    steps := !steps + t.f;
+    collect t
+  in
+  let rec loop c1 =
+    let c2 = collect t in
+    if same_seqs c1 c2 then (values_of c2, false, inv, !steps)
+    else begin
+      let borrowed = ref None in
+      Array.iteri
+        (fun i (c1i : cell) ->
+          if c1i.seq <> c2.(i).seq then
+            if moved.(i) then begin
+              (* i completed an entire update — and so an embedded scan —
+                 inside our interval: borrow its view. *)
+              if !borrowed = None then borrowed := Some c2.(i).view
+            end
+            else moved.(i) <- true)
+        c1;
+      match !borrowed with
+      | Some view -> (Array.copy view, true, inv, !steps)
+      | None -> loop c2
+    end
+  in
+  loop (collect t)
+
+let scan t ~me =
+  let view, borrowed, inv, n_ops = scan_inner t in
+  let ret = t.clock in
+  t.rev_history <-
+    Scan_op { proc = me; view; inv; ret; borrowed; n_ops } :: t.rev_history;
+  view
+
+let update t ~me v =
+  let inv = t.clock in
+  let view, _, _, scan_ops = scan_inner t in
+  let old = read t me in
+  write t ~me { value = v; seq = old.seq + 1; view };
+  let ret = t.clock in
+  t.rev_history <-
+    Update_op { proc = me; value = v; inv; ret; n_ops = scan_ops + 2 }
+    :: t.rev_history
+
+let history t = List.rev t.rev_history
+
+let scan_step_bound ~f = (f + 2) * f

@@ -1,0 +1,1 @@
+lib/runtime/fiber.ml: Array Effect List Rsim_shmem

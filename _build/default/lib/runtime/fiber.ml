@@ -1,0 +1,97 @@
+module type OPS = sig
+  type op
+  type res
+end
+
+type status = Done | Pending | Failed of exn
+
+module Make (M : OPS) = struct
+  open Effect
+  open Effect.Deep
+
+  type _ Effect.t += Op : M.op -> M.res Effect.t
+
+  let op o = perform (Op o)
+
+  type trace_entry = { idx : int; pid : int; op : M.op; res : M.res }
+
+  type result = {
+    statuses : status array;
+    trace : trace_entry list;
+    ops_per_fiber : int array;
+    total_ops : int;
+  }
+
+  (* A fiber that performed an operation is suspended here until the
+     scheduler picks it. *)
+  type suspended = { pending_op : M.op; resume : (M.res, unit) continuation }
+
+  type slot = Fresh | Suspended of suspended | Finished of status
+
+  let start_fiber pid body slots =
+    (* Run [body pid] until its first Op, completion, or exception. *)
+    match_with
+      (fun () -> body pid)
+      ()
+      {
+        retc = (fun () -> slots.(pid) <- Finished Done);
+        exnc = (fun e -> slots.(pid) <- Finished (Failed e));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Op o ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  slots.(pid) <- Suspended { pending_op = o; resume = k })
+            | _ -> None);
+      }
+
+  let run ?(max_ops = 1_000_000) ~sched ~apply bodies =
+    let n = List.length bodies in
+    let slots = Array.make n Fresh in
+    List.iteri (fun pid body -> start_fiber pid body slots) bodies;
+    let ops_per_fiber = Array.make n 0 in
+    let rev_trace = ref [] in
+    let total = ref 0 in
+    let pending_pids () =
+      let acc = ref [] in
+      for pid = n - 1 downto 0 do
+        match slots.(pid) with
+        | Suspended _ -> acc := pid :: !acc
+        | Fresh | Finished _ -> ()
+      done;
+      !acc
+    in
+    let rec loop sched =
+      if !total >= max_ops then ()
+      else
+        match pending_pids () with
+        | [] -> ()
+        | live -> (
+          match Rsim_shmem.Schedule.next sched ~live with
+          | None -> ()
+          | Some (pid, sched') ->
+            (match slots.(pid) with
+            | Suspended { pending_op; resume } ->
+              let res = apply ~pid pending_op in
+              rev_trace :=
+                { idx = !total; pid; op = pending_op; res } :: !rev_trace;
+              total := !total + 1;
+              ops_per_fiber.(pid) <- ops_per_fiber.(pid) + 1;
+              (* Resuming overwrites the slot with the fiber's next state
+                 (Suspended on its next op, or Finished). *)
+              continue resume res
+            | Fresh | Finished _ -> assert false);
+            loop sched')
+    in
+    loop sched;
+    let statuses =
+      Array.map
+        (function
+          | Finished s -> s
+          | Suspended _ -> Pending
+          | Fresh -> Done)
+        slots
+    in
+    { statuses; trace = List.rev !rev_trace; ops_per_fiber; total_ops = !total }
+end

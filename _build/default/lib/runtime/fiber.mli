@@ -1,0 +1,55 @@
+(** Cooperative fibers for the real system, with single-step scheduling.
+
+    Real processes (the simulators and the augmented-snapshot code they
+    run) are written in direct style. Every operation on the shared base
+    object is performed through {!S.op}, which is an OCaml effect: the
+    runtime captures the fiber's continuation there, and a {!Schedule}
+    decides which fiber's pending operation executes next. Operations are
+    applied atomically, one at a time, so the recorded trace *is* the
+    linearization order of base-object operations — exactly the
+    atomic-steps model of the paper (§2).
+
+    Determinism: given the same fiber bodies, scheduler, and [apply]
+    function, the execution and trace are identical. Fibers must not
+    share mutable state other than through [apply]. *)
+
+module type OPS = sig
+  type op
+  type res
+end
+
+type status =
+  | Done  (** fiber body returned *)
+  | Pending  (** has an operation waiting to be scheduled *)
+  | Failed of exn  (** fiber body raised *)
+
+module Make (M : OPS) : sig
+  (** [op o] performs shared-memory operation [o]; only callable from
+      inside a fiber body run by {!run}. *)
+  val op : M.op -> M.res
+
+  type trace_entry = { idx : int; pid : int; op : M.op; res : M.res }
+
+  type result = {
+    statuses : status array;
+    trace : trace_entry list;  (** execution order = linearization order *)
+    ops_per_fiber : int array;
+    total_ops : int;
+  }
+
+  (** [run ?max_ops ~sched ~apply bodies] starts one fiber per element of
+      [bodies] (pid = list position; each body receives its pid), then
+      repeatedly: asks [sched] for a pid among fibers with a pending
+      operation, applies that operation via [apply] (which typically
+      mutates the shared base object), and resumes the fiber until its
+      next operation or completion.
+
+      Stops when no fiber is pending, the schedule is exhausted, or
+      [max_ops] operations have executed. *)
+  val run :
+    ?max_ops:int ->
+    sched:Rsim_shmem.Schedule.t ->
+    apply:(pid:int -> M.op -> M.res) ->
+    (int -> unit) list ->
+    result
+end

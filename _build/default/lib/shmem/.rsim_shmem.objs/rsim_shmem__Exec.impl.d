@@ -1,0 +1,1 @@
+lib/shmem/exec.ml: Fun List Printf Proc Rsim_value Run Snapshot

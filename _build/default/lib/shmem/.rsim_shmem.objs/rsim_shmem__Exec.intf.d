@@ -1,0 +1,1 @@
+lib/shmem/exec.mli: Run

@@ -1,0 +1,1 @@
+lib/shmem/linearize.ml: List Option Rsim_value Value

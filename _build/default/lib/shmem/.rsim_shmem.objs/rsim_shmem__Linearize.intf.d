@@ -1,0 +1,1 @@
+lib/shmem/linearize.mli: Rsim_value Value

@@ -1,0 +1,1 @@
+lib/shmem/objects.ml: Printf Rsim_value Value

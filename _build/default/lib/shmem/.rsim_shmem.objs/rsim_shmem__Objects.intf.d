@@ -1,0 +1,1 @@
+lib/shmem/objects.mli: Rsim_value Value

@@ -1,0 +1,1 @@
+lib/shmem/proc.ml: Printf Rsim_value Value

@@ -1,0 +1,1 @@
+lib/shmem/proc.mli: Rsim_value Value

@@ -1,0 +1,1 @@
+lib/shmem/run.ml: Array List Printf Proc Rsim_value Schedule Snapshot Value

@@ -1,0 +1,1 @@
+lib/shmem/run.mli: Proc Rsim_value Schedule Snapshot Value

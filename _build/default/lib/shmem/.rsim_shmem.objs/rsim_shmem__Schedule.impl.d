@@ -1,0 +1,1 @@
+lib/shmem/schedule.ml: List Option Prng Rsim_value

@@ -1,0 +1,1 @@
+lib/shmem/schedule.mli:

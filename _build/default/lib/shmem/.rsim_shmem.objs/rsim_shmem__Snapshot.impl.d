@@ -1,0 +1,1 @@
+lib/shmem/snapshot.ml: Array Format Printf Rsim_value Value

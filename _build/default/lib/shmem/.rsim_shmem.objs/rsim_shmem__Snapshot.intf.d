@@ -1,0 +1,1 @@
+lib/shmem/snapshot.mli: Format Rsim_value Value

@@ -1,0 +1,69 @@
+open Rsim_value
+
+type 'op entry = {
+  proc : int;
+  op : 'op;
+  inv : int;
+  ret : int option;
+  res : Value.t option;
+}
+
+type ('st, 'op) spec = {
+  init : 'st;
+  apply : 'st -> 'op -> 'st * Value.t;
+}
+
+let entry ~proc ~op ~inv ?ret ?res () =
+  (match ret with
+  | Some r when r <= inv -> invalid_arg "Linearize.entry: ret must be > inv"
+  | _ -> ());
+  { proc; op; inv; ret; res }
+
+(* [e] may be linearized first among [remaining] iff no other operation
+   completed before [e] was invoked. *)
+let minimal remaining e =
+  List.for_all
+    (fun e' ->
+      e' == e
+      || match e'.ret with None -> true | Some r -> r > e.inv)
+    remaining
+
+let rec remove_phys x = function
+  | [] -> []
+  | y :: ys -> if x == y then ys else y :: remove_phys x ys
+
+let linearization spec entries =
+  let rec search st remaining acc =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ ->
+      let candidates = List.filter (minimal remaining) remaining in
+      let try_take e =
+        let st', res = spec.apply st e.op in
+        let response_ok =
+          match (e.ret, e.res) with
+          | Some _, Some observed -> Value.equal observed res
+          | Some _, None -> true
+          | None, _ -> true (* pending: any response is acceptable *)
+        in
+        if response_ok then search st' (remove_phys e remaining) (e :: acc)
+        else None
+      in
+      let try_drop e =
+        (* Pending operations may never have taken effect. *)
+        match e.ret with
+        | None -> search st (remove_phys e remaining) acc
+        | Some _ -> None
+      in
+      let rec first_some f = function
+        | [] -> None
+        | x :: xs -> (
+          match f x with Some r -> Some r | None -> first_some f xs)
+      in
+      (match first_some try_take candidates with
+      | Some r -> Some r
+      | None -> first_some try_drop candidates)
+  in
+  search spec.init entries []
+
+let check spec entries = Option.is_some (linearization spec entries)

@@ -1,0 +1,40 @@
+(** Linearizability checking for small concurrent histories.
+
+    A history is a set of operation intervals, each with an invocation
+    time, an optional response time (pending operations have none), and
+    the observed response. [check] decides whether the history is
+    linearizable with respect to a sequential specification, using the
+    Wing–Gong search: repeatedly pick a "minimal" operation (one that no
+    other operation completed before), apply it to the sequential state,
+    and match its observed response. Pending operations may either take
+    effect or be dropped.
+
+    The search is exponential in the worst case; it is intended for the
+    short adversarial histories produced in tests (≲ 15 operations). *)
+
+open Rsim_value
+
+type 'op entry = {
+  proc : int;
+  op : 'op;
+  inv : int;  (** invocation time *)
+  ret : int option;  (** response time; [None] = pending *)
+  res : Value.t option;  (** observed response, for complete operations *)
+}
+
+type ('st, 'op) spec = {
+  init : 'st;
+  apply : 'st -> 'op -> 'st * Value.t;
+}
+
+(** [entry ~proc ~op ~inv ~ret ~res] smart constructor; checks
+    [inv < ret]. *)
+val entry :
+  proc:int -> op:'op -> inv:int -> ?ret:int -> ?res:Value.t -> unit -> 'op entry
+
+(** Whether the history is linearizable w.r.t. the spec. *)
+val check : ('st, 'op) spec -> 'op entry list -> bool
+
+(** A witness linearization order (the entries that took effect, in
+    linearization order), if one exists. *)
+val linearization : ('st, 'op) spec -> 'op entry list -> 'op entry list option

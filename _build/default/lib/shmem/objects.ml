@@ -1,0 +1,60 @@
+open Rsim_value
+
+type kind =
+  | Register
+  | Max_register
+  | Fetch_and_increment
+  | Swap
+  | Compare_and_swap
+
+type op =
+  | Read
+  | Write of Value.t
+  | Write_max of Value.t
+  | Fetch_inc
+  | Swap_write of Value.t
+  | Cas of { expected : Value.t; desired : Value.t }
+
+let op_name = function
+  | Read -> "read"
+  | Write _ -> "write"
+  | Write_max _ -> "write_max"
+  | Fetch_inc -> "fetch_inc"
+  | Swap_write _ -> "swap"
+  | Cas _ -> "cas"
+
+let supports kind op =
+  match (kind, op) with
+  | _, Read -> true
+  | Register, Write _ -> true
+  | Max_register, Write_max _ -> true
+  | Fetch_and_increment, Fetch_inc -> true
+  | Swap, Swap_write _ -> true
+  | Compare_and_swap, Cas _ -> true
+  | (Register | Max_register | Fetch_and_increment | Swap | Compare_and_swap), _ ->
+    false
+
+let apply kind v op =
+  if not (supports kind op) then
+    Error (Printf.sprintf "object kind does not support %s" (op_name op))
+  else
+    match op with
+    | Read -> Ok (v, v)
+    | Write w -> Ok (w, Value.Bot)
+    | Write_max w -> Ok (Value.max_value v w, Value.Bot)
+    | Fetch_inc -> (
+      match v with
+      | Value.Int n -> Ok (Value.Int (n + 1), Value.Int n)
+      | _ -> Error "fetch_inc on a non-Int component")
+    | Swap_write w -> Ok (w, v)
+    | Cas { expected; desired } ->
+      if Value.equal v expected then Ok (desired, Value.Bool true)
+      else Ok (v, Value.Bool false)
+
+let initial = function
+  | Fetch_and_increment -> Value.Int 0
+  | Register | Max_register | Swap | Compare_and_swap -> Value.Bot
+
+let can_aba = function
+  | Register | Swap | Compare_and_swap -> true
+  | Max_register | Fetch_and_increment -> false

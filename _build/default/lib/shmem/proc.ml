@@ -1,0 +1,51 @@
+open Rsim_value
+
+type action =
+  | Scan
+  | Update of int * Value.t
+  | Output of Value.t
+
+type last_step = Init | Did_scan | Did_update
+
+type t =
+  | P : {
+      name : string;
+      state : 's;
+      poised : 's -> action;
+      on_scan : 's -> Value.t array -> 's;
+      on_update : 's -> 's;
+      last : last_step;
+    }
+      -> t
+
+let make ~name ~init ~poised ~on_scan ~on_update =
+  P { name; state = init; poised; on_scan; on_update; last = Init }
+
+let name (P p) = p.name
+let poised (P p) = p.poised p.state
+
+let step_scan (P p) view =
+  match p.poised p.state with
+  | Scan -> P { p with state = p.on_scan p.state view; last = Did_scan }
+  | Update _ | Output _ ->
+    invalid_arg (Printf.sprintf "Proc.step_scan: %s is not poised to scan" p.name)
+
+let step_update (P p) =
+  match p.poised p.state with
+  | Update _ -> P { p with state = p.on_update p.state; last = Did_update }
+  | Scan | Output _ ->
+    invalid_arg (Printf.sprintf "Proc.step_update: %s is not poised to update" p.name)
+
+let is_done p = match poised p with Output _ -> true | Scan | Update _ -> false
+let output p = match poised p with Output v -> Some v | Scan | Update _ -> None
+
+let violates_assumption1 (P p as proc) =
+  match (p.last, poised proc) with
+  | Init, Scan -> None
+  | Init, (Update _ | Output _) ->
+    Some "process must start poised to scan (Assumption 1)"
+  | Did_scan, (Update _ | Output _) -> None
+  | Did_scan, Scan -> Some "scan followed by scan (Assumption 1)"
+  | Did_update, Scan -> None
+  | Did_update, Update _ -> Some "update followed by update (Assumption 1)"
+  | Did_update, Output _ -> Some "output decided by an update (Assumption 1)"

@@ -1,0 +1,60 @@
+(** Simulated processes as deterministic state machines.
+
+    This is the paper's §5.1 formalization, specialized to deterministic
+    protocols satisfying Assumption 1: every process alternately performs
+    [scan] and [update] operations on the shared m-component multi-writer
+    snapshot, starting with a [scan], until a scan lets it output a value.
+
+    A process is an immutable value: stepping returns a new process. The
+    revisionist simulation depends on this — covering simulators store,
+    copy, restore, and locally re-run process states when revising the
+    past, which is impossible with opaque mutable state or one-shot
+    continuations. *)
+
+open Rsim_value
+
+(** The next step a process is poised to perform. *)
+type action =
+  | Scan  (** poised to perform a scan of the m-component snapshot *)
+  | Update of int * Value.t
+      (** [Update (j, v)]: poised to set component [j] to [v] *)
+  | Output of Value.t  (** the process has terminated with this output *)
+
+type t
+
+(** [make ~name ~init ~poised ~on_scan ~on_update] builds a process.
+
+    - [poised s] must be [Scan] in the initial state [init].
+    - [on_scan s view] is the new state after a scan returning [view].
+    - [on_update s] is the new state after the poised update is applied.
+    - After [on_scan], [poised] must be [Update _] or [Output _]; after
+      [on_update], it must be [Scan] (Assumption 1). The execution engine
+      enforces this at runtime. *)
+val make :
+  name:string ->
+  init:'s ->
+  poised:('s -> action) ->
+  on_scan:('s -> Value.t array -> 's) ->
+  on_update:('s -> 's) ->
+  t
+
+val name : t -> string
+val poised : t -> action
+
+(** [step_scan p view] steps [p], which must be poised to [Scan], feeding
+    it the scan result. Raises [Invalid_argument] otherwise. *)
+val step_scan : t -> Value.t array -> t
+
+(** [step_update p] steps [p], which must be poised to [Update _].
+    Raises [Invalid_argument] otherwise. *)
+val step_update : t -> t
+
+val is_done : t -> bool
+
+(** [output p] is the output value if [p] has terminated. *)
+val output : t -> Value.t option
+
+(** [violates_assumption1 p] is [Some reason] if the poised action is
+    inconsistent with the alternation discipline given the last step kind
+    recorded inside [p]. *)
+val violates_assumption1 : t -> string option

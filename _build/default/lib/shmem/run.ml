@@ -1,0 +1,131 @@
+open Rsim_value
+
+type event = {
+  idx : int;
+  pid : int;
+  action : Proc.action;
+  view : Value.t array option;
+}
+
+type config = {
+  mem : Snapshot.t;
+  procs : Proc.t array;
+  steps : int array;
+  rev_trace : event list;
+  next_idx : int;
+}
+
+let init ~m procs =
+  let procs = Array.of_list procs in
+  Array.iteri
+    (fun i p ->
+      match Proc.violates_assumption1 p with
+      | None -> ()
+      | Some reason ->
+        failwith (Printf.sprintf "Run.init: process %d (%s): %s" i (Proc.name p) reason))
+    procs;
+  {
+    mem = Snapshot.create ~m;
+    procs;
+    steps = Array.make (Array.length procs) 0;
+    rev_trace = [];
+    next_idx = 0;
+  }
+
+let mem c = c.mem
+let proc c pid = c.procs.(pid)
+let n_procs c = Array.length c.procs
+
+let live c =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if Proc.is_done c.procs.(i) then acc else i :: acc)
+  in
+  go (Array.length c.procs - 1) []
+
+let step_counts c = Array.copy c.steps
+let trace c = List.rev c.rev_trace
+
+let check_a1 pid p =
+  match Proc.violates_assumption1 p with
+  | None -> ()
+  | Some reason ->
+    failwith (Printf.sprintf "process %d (%s): %s" pid (Proc.name p) reason)
+
+let step_pid c pid =
+  let p = c.procs.(pid) in
+  let action = Proc.poised p in
+  let mem', p', view =
+    match action with
+    | Proc.Scan ->
+      let v = Snapshot.scan c.mem in
+      (c.mem, Proc.step_scan p v, Some v)
+    | Proc.Update (j, v) -> (Snapshot.update c.mem j v, Proc.step_update p, None)
+    | Proc.Output _ ->
+      invalid_arg (Printf.sprintf "Run.step_pid: process %d already output" pid)
+  in
+  check_a1 pid p';
+  let procs' = Array.copy c.procs in
+  procs'.(pid) <- p';
+  let steps' = Array.copy c.steps in
+  steps'.(pid) <- steps'.(pid) + 1;
+  {
+    mem = mem';
+    procs = procs';
+    steps = steps';
+    rev_trace = { idx = c.next_idx; pid; action; view } :: c.rev_trace;
+    next_idx = c.next_idx + 1;
+  }
+
+type outcome = All_done | Step_limit | Schedule_exhausted
+
+let run ?(max_steps = 100_000) ~sched c =
+  let rec go c sched budget =
+    match live c with
+    | [] -> (c, All_done)
+    | live_pids ->
+      if budget <= 0 then (c, Step_limit)
+      else begin
+        match Schedule.next sched ~live:live_pids with
+        | None -> (c, Schedule_exhausted)
+        | Some (pid, sched') -> go (step_pid c pid) sched' (budget - 1)
+      end
+  in
+  go c sched max_steps
+
+let outputs c =
+  let acc = ref [] in
+  Array.iteri
+    (fun pid p ->
+      match Proc.output p with
+      | Some v -> acc := (pid, v) :: !acc
+      | None -> ())
+    c.procs;
+  List.rev !acc
+
+let solo_terminates ?(max_steps = 100_000) c pid =
+  if Proc.is_done c.procs.(pid) then true
+  else
+    let _, outcome = run ~max_steps ~sched:(Schedule.solo pid) c in
+    match outcome with
+    | All_done -> true
+    | Schedule_exhausted ->
+      (* solo schedule exhausts exactly when [pid] has output *)
+      true
+    | Step_limit -> false
+
+let obstruction_free_from ?(max_steps = 100_000) c ~procs =
+  let sched =
+    Schedule.fn (fun ~step ~live ->
+        let eligible = List.filter (fun p -> List.mem p procs) live in
+        match eligible with
+        | [] -> None
+        | _ -> Some (List.nth eligible (step mod List.length eligible)))
+  in
+  let c', outcome = run ~max_steps ~sched c in
+  match outcome with
+  | All_done -> true
+  | Schedule_exhausted ->
+    (* all of [procs] terminated; others are not scheduled *)
+    List.for_all (fun pid -> Proc.is_done c'.procs.(pid)) procs
+  | Step_limit -> false

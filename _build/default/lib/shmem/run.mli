@@ -1,0 +1,61 @@
+(** Execution engine for the simulated system.
+
+    Runs a set of {!Proc} state machines over one {!Snapshot} under a
+    {!Schedule}, recording the execution. Configurations are immutable,
+    so executions can be branched (used by obstruction-freedom tests:
+    from any reachable configuration, run a solo suffix). *)
+
+open Rsim_value
+
+type event = {
+  idx : int;  (** global step index, starting at 0 *)
+  pid : int;
+  action : Proc.action;  (** the step performed *)
+  view : Value.t array option;  (** scan result, for [Scan] steps *)
+}
+
+type config
+
+(** [init ~m procs] is the initial configuration: snapshot of [m]
+    components all ⊥, processes in their initial states. *)
+val init : m:int -> Proc.t list -> config
+
+val mem : config -> Snapshot.t
+val proc : config -> int -> Proc.t
+val n_procs : config -> int
+
+(** Pids of processes that have not yet output. *)
+val live : config -> int list
+
+(** Steps taken by each process so far. *)
+val step_counts : config -> int array
+
+(** Events so far, in execution order. *)
+val trace : config -> event list
+
+(** [step_pid c pid] applies the next step of [pid] (a scan or an
+    update). Raises [Invalid_argument] if [pid] has already output, or
+    [Failure] if the process violates Assumption 1. *)
+val step_pid : config -> int -> config
+
+type outcome =
+  | All_done  (** every process output a value *)
+  | Step_limit  (** [max_steps] reached *)
+  | Schedule_exhausted  (** the scheduler refused to continue *)
+
+(** [run ?max_steps ~sched c] drives [c] until all processes output, the
+    step budget is exhausted, or the schedule ends. *)
+val run : ?max_steps:int -> sched:Schedule.t -> config -> config * outcome
+
+(** [(pid, output)] for every terminated process, ascending pid. *)
+val outputs : config -> (int * Value.t) list
+
+(** [solo_terminates ?max_steps c pid] runs [pid] solo from [c]; [true]
+    iff it outputs within the budget. The building block of
+    obstruction-freedom checks. *)
+val solo_terminates : ?max_steps:int -> config -> int -> bool
+
+(** [obstruction_free_from ?max_steps c ~procs] runs only [procs] (an
+    x-obstruction suffix, scheduled round-robin) and reports whether all
+    of them terminate within the budget. *)
+val obstruction_free_from : ?max_steps:int -> config -> procs:int list -> bool

@@ -1,0 +1,1 @@
+lib/simulation/analysis.ml: Array Aug Aug_spec Format Harness Hashtbl Int Journal List Proc Rsim_augmented Rsim_shmem Rsim_value Snapshot Value Vts

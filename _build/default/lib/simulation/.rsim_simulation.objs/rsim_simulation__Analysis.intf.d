@@ -1,0 +1,1 @@
+lib/simulation/analysis.mli: Format Harness

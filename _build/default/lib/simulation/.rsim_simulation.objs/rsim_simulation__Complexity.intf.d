@@ -1,0 +1,1 @@
+lib/simulation/complexity.mli:

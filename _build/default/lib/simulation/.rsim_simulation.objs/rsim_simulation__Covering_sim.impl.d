@@ -1,0 +1,1 @@
+lib/simulation/covering_sim.ml: Array Aug Int Journal List Printf Proc Rsim_augmented Rsim_shmem Rsim_value Snapshot Value

@@ -1,0 +1,1 @@
+lib/simulation/covering_sim.mli: Journal Rsim_augmented Rsim_shmem Rsim_value Value

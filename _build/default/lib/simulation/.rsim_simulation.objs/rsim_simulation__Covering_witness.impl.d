@@ -1,0 +1,1 @@
+lib/simulation/covering_witness.ml: Fun List Printf Proc Rsim_shmem Rsim_tasks Rsim_value Run Schedule Value

@@ -1,0 +1,1 @@
+lib/simulation/covering_witness.mli: Proc Rsim_shmem Rsim_tasks Rsim_value Run Value

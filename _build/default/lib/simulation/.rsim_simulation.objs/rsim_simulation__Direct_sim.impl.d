@@ -1,0 +1,1 @@
+lib/simulation/direct_sim.ml: Aug Journal Proc Rsim_augmented Rsim_shmem Rsim_value Value

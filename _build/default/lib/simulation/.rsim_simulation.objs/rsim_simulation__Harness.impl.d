@@ -1,0 +1,1 @@
+lib/simulation/harness.ml: Array Aug Buffer Covering_sim Direct_sim Fun Journal List Logs Option Printexc Printf Proc Rsim_augmented Rsim_runtime Rsim_shmem Rsim_tasks Rsim_value String Value

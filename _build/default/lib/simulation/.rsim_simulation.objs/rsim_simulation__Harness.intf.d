@@ -1,0 +1,1 @@
+lib/simulation/harness.mli: Journal Proc Rsim_augmented Rsim_runtime Rsim_shmem Rsim_tasks Rsim_value Schedule Stdlib Value

@@ -1,0 +1,1 @@
+lib/simulation/journal.ml: List Rsim_value Value

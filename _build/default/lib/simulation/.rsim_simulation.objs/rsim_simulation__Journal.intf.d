@@ -1,0 +1,1 @@
+lib/simulation/journal.mli: Rsim_value Value

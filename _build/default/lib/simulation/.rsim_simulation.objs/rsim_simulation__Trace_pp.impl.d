@@ -1,0 +1,1 @@
+lib/simulation/trace_pp.ml: Array Aug Format Harness Hrep Journal List Printf Rsim_augmented Rsim_value String Value Vts

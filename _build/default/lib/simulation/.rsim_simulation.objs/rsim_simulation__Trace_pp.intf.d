@@ -1,0 +1,1 @@
+lib/simulation/trace_pp.mli: Format Harness Journal Rsim_augmented

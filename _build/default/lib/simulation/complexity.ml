@@ -1,0 +1,63 @@
+(* Saturating arithmetic: the bounds are doubly exponential, so for all
+   but the smallest parameters they overflow native ints. Saturate at a
+   recognizable ceiling instead. *)
+
+let sat_limit = max_int / 2
+
+let is_saturated n = n >= sat_limit
+
+let sat_add a b =
+  if a >= sat_limit - b then sat_limit else a + b
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a >= sat_limit / b then sat_limit
+  else a * b
+
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go i acc =
+      if i > k then acc
+      else
+        let acc = sat_mul acc (n - k + i) in
+        if is_saturated acc then acc else go (i + 1) (acc / i)
+    in
+    go 1 1
+  end
+
+let a ~m r =
+  if r < 1 || r > m then invalid_arg "Complexity.a: need 1 <= r <= m";
+  let rec go r =
+    if r = 1 then 0
+    else
+      let c = choose m (r - 1) in
+      sat_add (sat_mul (sat_add c 1) (go (r - 1))) c
+  in
+  go r
+
+let b ~m i =
+  if i < 1 then invalid_arg "Complexity.b: need i >= 1";
+  if m < 1 then invalid_arg "Complexity.b: need m >= 1";
+  let am = a ~m m in
+  let am1 = if m = 1 then 0 else a ~m (m - 1) in
+  let rec go i sum_prev =
+    let bi =
+      if i = 1 then am else sat_add (sat_mul (sat_add am1 1) sum_prev) am
+    in
+    (bi, sat_add sum_prev bi)
+  and upto i =
+    if i = 1 then go 1 0
+    else
+      let _, sum = upto (i - 1) in
+      go i sum
+  in
+  fst (upto i)
+
+let step_bound ~f ~m =
+  sat_add (sat_mul (sat_add (sat_mul 2 f) 7) (b ~m f)) 3
+
+let two_pow_fm2 ~f ~m =
+  let e = f * m * m in
+  if e >= 62 then sat_limit else 1 lsl e

@@ -1,0 +1,151 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+
+exception Terminated
+
+type t = {
+  aug : Aug.t;
+  me : int;
+  procs : Proc.t array;  (* p_{i,1} .. p_{i,m}; slot g-1 holds p_{i,g} *)
+  journal : Journal.t;
+  local_cap : int;
+  m : int;
+  mutable output : Value.t option;
+  mutable bus : int;
+}
+
+let make ~aug ~me ~procs ~journal ~local_cap =
+  let m = Aug.m aug in
+  if Array.length procs <> m then
+    invalid_arg "Covering_sim.make: need exactly m simulated processes";
+  { aug; me; procs; journal; local_cap; m; output = None; bus = 0 }
+
+let output t = t.output
+let bu_count t = t.bus
+
+let decide t ~proc value =
+  t.output <- Some value;
+  Journal.push t.journal (Journal.Jdecided { proc; value });
+  raise Terminated
+
+(* Locally simulate process slot [g] against a private copy of M whose
+   contents start as [view], applying only updates to components in
+   [allowed], until it is poised to update a component outside [allowed]
+   or outputs. Returns the hidden steps ζ (in order) and the final
+   state. *)
+let local_simulate t ~g ~view ~allowed =
+  let rec go p local steps zeta =
+    if steps > t.local_cap then
+      failwith
+        (Printf.sprintf
+           "Covering_sim: local simulation of process %d exceeded %d steps — \
+            protocol is not obstruction-free within the cap"
+           g t.local_cap);
+    match Proc.poised p with
+    | Proc.Scan ->
+      let v = Snapshot.scan local in
+      go (Proc.step_scan p v) local (steps + 1) (Journal.Zscan v :: zeta)
+    | Proc.Update (j, v) when List.mem j allowed ->
+      go (Proc.step_update p) (Snapshot.update local j v) (steps + 1)
+        (Journal.Zupdate (j, v) :: zeta)
+    | Proc.Update (j, v) -> (p, List.rev zeta, `Poised (j, v))
+    | Proc.Output y -> (p, List.rev zeta, `Out y)
+  in
+  go t.procs.(g) (Snapshot.of_view view) 0 []
+
+(* Apply the M.Block-Update that simulates the block update [bu]
+   (returned by Construct(s)); afterwards processes 1..s have performed
+   their poised updates. Returns the view if atomic. *)
+let simulate_block t bu =
+  let result = Aug.block_update t.aug ~me:t.me bu in
+  t.bus <- t.bus + 1;
+  let serial = Journal.bump t.journal in
+  let atomic = match result with `View _ -> true | `Yield -> false in
+  Journal.push t.journal (Journal.Jbu { serial; updates = bu; atomic });
+  List.iteri (fun g _ -> t.procs.(g) <- Proc.step_update t.procs.(g)) bu;
+  (result, serial)
+
+(* Algorithm 6. Returns the constructed block update [(j1,v1)...(jr,vr)]
+   where process slot g-1 is poised to perform Update (jg, vg). *)
+let rec construct t r =
+  if r = 1 then begin
+    (* Base case: simulate p_{i,1}'s next step (a scan) with M.Scan. *)
+    let view = Aug.scan t.aug ~me:t.me in
+    let serial = Journal.bump t.journal in
+    Journal.push t.journal (Journal.Jscan { serial; view });
+    t.procs.(0) <- Proc.step_scan t.procs.(0) view;
+    match Proc.poised t.procs.(0) with
+    | Proc.Update (j, v) -> [ (j, v) ]
+    | Proc.Output y -> decide t ~proc:0 y
+    | Proc.Scan ->
+      failwith "Covering_sim: protocol violates Assumption 1 (scan after scan)"
+  end
+  else begin
+    (* [seen] holds (component set, view, serial of the atomic
+       Block-Update that returned the view) — the paper's A. *)
+    let seen = ref [] in
+    let rec loop () =
+      let bu = construct t (r - 1) in
+      let comps = List.sort Int.compare (List.map fst bu) in
+      match
+        List.find_opt (fun (comps', _, _) -> comps' = comps) !seen
+      with
+      | Some (_, view, source_serial) -> begin
+        (* Revise the past of p_{i,r} using the stored view. *)
+        let p', zeta, outcome = local_simulate t ~g:(r - 1) ~view ~allowed:comps in
+        t.procs.(r - 1) <- p';
+        Journal.push t.journal
+          (Journal.Jrevise
+             {
+               after_serial = Journal.serial t.journal;
+               proc = r - 1;
+               source_serial;
+               zeta;
+             });
+        match outcome with
+        | `Poised (j, v) -> bu @ [ (j, v) ]
+        | `Out y -> decide t ~proc:(r - 1) y
+      end
+      | None -> begin
+        match simulate_block t bu with
+        | `View view, serial ->
+          seen := (comps, view, serial) :: !seen;
+          loop ()
+        | `Yield, _ -> loop ()
+      end
+    in
+    loop ()
+  end
+
+(* Algorithm 7. *)
+let body t _pid =
+  try
+    let beta = construct t t.m in
+    (* Locally simulate β followed by p_{i,1}'s terminating solo
+       execution; restore states afterwards (they are only stored values
+       here, so we simply do not overwrite [t.procs]). *)
+    let local =
+      List.fold_left
+        (fun mem (j, v) -> Snapshot.update mem j v)
+        (Snapshot.create ~m:t.m) beta
+    in
+    let p1 = Proc.step_update t.procs.(0) in
+    let rec solo p local steps xi =
+      if steps > t.local_cap then
+        failwith
+          "Covering_sim: final solo execution exceeded the cap — protocol is \
+           not obstruction-free within the cap";
+      match Proc.poised p with
+      | Proc.Scan ->
+        let v = Snapshot.scan local in
+        solo (Proc.step_scan p v) local (steps + 1) (Journal.Zscan v :: xi)
+      | Proc.Update (j, v) ->
+        solo (Proc.step_update p) (Snapshot.update local j v) (steps + 1)
+          (Journal.Zupdate (j, v) :: xi)
+      | Proc.Output y -> (y, List.rev xi)
+    in
+    let y, xi = solo p1 local 0 [] in
+    Journal.push t.journal (Journal.Jfinal { beta; xi; output = y });
+    t.output <- Some y
+  with Terminated -> ()

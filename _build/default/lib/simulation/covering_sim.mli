@@ -1,0 +1,40 @@
+(** Covering simulator (§4.1, Algorithms 6 and 7).
+
+    A covering simulator [q_i] simulates [m] processes, trying to build a
+    block update covering all [m] components of the simulated snapshot
+    [M]. It recursively constructs block updates to [r] components for
+    growing [r]; whenever a constructed (r−1)-block hits a component set
+    it has already simulated with an {e atomic} Block-Update, it uses
+    that Block-Update's returned view to {b revise the past} of its
+    [r]-th process — locally simulating a hidden solo execution that the
+    block update conceals. If a simulated process ever outputs, the
+    simulator adopts that output; if it completes an [m]-block, it
+    locally simulates the block followed by its first process's
+    terminating solo run and outputs that value (Algorithm 7).
+
+    The simulator must run as a fiber under [Aug.F.run]. *)
+
+open Rsim_value
+
+type t
+
+(** [make ~aug ~me ~procs ~journal ~local_cap] — [procs] are the [m]
+    simulated processes [p_{i,1} .. p_{i,m}] in their initial states
+    (each poised to scan); [local_cap] bounds every local (hidden) solo
+    simulation, failing loudly if the protocol is not obstruction-free. *)
+val make :
+  aug:Rsim_augmented.Aug.t ->
+  me:int ->
+  procs:Rsim_shmem.Proc.t array ->
+  journal:Journal.t ->
+  local_cap:int ->
+  t
+
+(** The fiber body. *)
+val body : t -> int -> unit
+
+val output : t -> Value.t option
+
+(** Number of M.Block-Updates this simulator applied (for comparison
+    with {!Complexity.b}). *)
+val bu_count : t -> int

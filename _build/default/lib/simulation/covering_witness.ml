@@ -1,0 +1,114 @@
+open Rsim_value
+open Rsim_shmem
+
+type witness = {
+  config : Run.config;
+  outputs : (int * Value.t) list;
+  description : string;
+}
+
+let violates task ~inputs c =
+  match Run.live c with
+  | _ :: _ -> None (* incomplete executions are not witnesses *)
+  | [] -> (
+    let outputs = List.map snd (Run.outputs c) in
+    match Rsim_tasks.Task.check task ~inputs ~outputs with
+    | Ok () -> None
+    | Error e -> Some e)
+
+(* Run [pid] for up to [steps] of its own steps, stopping if it
+   outputs. *)
+let turn c pid steps =
+  let rec go c k =
+    if k = 0 then c
+    else
+      match Proc.poised (Run.proc c pid) with
+      | Proc.Output _ -> c
+      | Proc.Scan | Proc.Update _ -> go (Run.step_pid c pid) (k - 1)
+  in
+  go c steps
+
+let finish_solo c pid = turn c pid 10_000
+
+(* Recover each process's input as its solo output from the initial
+   configuration (sound for validity-respecting protocols: a solo run
+   outputs the process's own input). *)
+let solo_inputs ~m procs =
+  let c0 = Run.init ~m procs in
+  List.mapi
+    (fun pid _ ->
+      match Proc.output (Run.proc (finish_solo c0 pid) pid) with
+      | Some v -> v
+      | None -> Value.Int pid)
+    procs
+
+let phase_shifted ~procs ~m ~task ~max_turn =
+  if List.length procs < 2 then
+    invalid_arg "Covering_witness.phase_shifted: need at least 2 processes";
+  let inputs = solo_inputs ~m procs in
+  let rec search a b =
+    if a > max_turn then None
+    else if b > max_turn then search (a + 1) 1
+    else begin
+      (* Alternate turns of a (pid 0) and b (pid 1) until both decided
+         or a turn budget runs out; then finish everyone solo. *)
+      let c = ref (Run.init ~m procs) in
+      let budget = ref 40 in
+      while Run.live !c <> [] && !budget > 0 do
+        c := turn !c 0 a;
+        c := turn !c 1 b;
+        decr budget
+      done;
+      List.iteri (fun pid _ -> c := finish_solo !c pid) procs;
+      match violates task ~inputs !c with
+      | Some _ ->
+        Some
+          {
+            config = !c;
+            outputs = Run.outputs !c;
+            description =
+              Printf.sprintf "phase-shifted lockstep, turns (%d, %d)" a b;
+          }
+      | None -> search a (b + 1)
+    end
+  in
+  search 1 1
+
+let stale_writer ~procs ~m ~task =
+  let n = List.length procs in
+  if n < 2 then invalid_arg "Covering_witness.stale_writer: need >= 2 processes";
+  let inputs = solo_inputs ~m procs in
+  let try_park parked k =
+    (* Give the parked process k initial steps (leaving it covering a
+       register), run the others to completion round-robin, then release
+       it. *)
+    let c = turn (Run.init ~m procs) parked k in
+    let others = List.filter (fun p -> p <> parked) (List.init n Fun.id) in
+    let sched =
+      Schedule.fn (fun ~step ~live ->
+          let eligible = List.filter (fun p -> List.mem p others) live in
+          match eligible with
+          | [] -> None
+          | _ -> Some (List.nth eligible (step mod List.length eligible)))
+    in
+    let c, _ = Run.run ~max_steps:10_000 ~sched c in
+    let c = finish_solo c parked in
+    match violates task ~inputs c with
+    | Some _ ->
+      Some
+        {
+          config = c;
+          outputs = Run.outputs c;
+          description = Printf.sprintf "process %d parked after %d steps" parked k;
+        }
+    | None -> None
+  in
+  let rec search parked k =
+    if parked >= n then None
+    else if k > 3 then search (parked + 1) 1
+    else
+      match try_park parked k with
+      | Some w -> Some w
+      | None -> search parked (k + 1)
+  in
+  search 0 1

@@ -1,0 +1,47 @@
+(** Constructive covering adversaries.
+
+    The space lower bounds are proved by exhibiting adversarial
+    executions in which "covering" processes hold stale pending writes
+    that later obliterate a full memory configuration. This module
+    builds such executions {e deterministically} (no random search) for
+    protocols running in the simulated system:
+
+    - {!phase_shifted} drives two processes in alternating turns so that
+      each only ever observes the other's dominated traces — the
+      schedule family that defeats round-based full-bank protocols such
+      as {!Rsim_protocols.Racing} even at [m = n] banks;
+    - {!stale_writer} parks one process on its initial pending write
+      while another runs to completion, then releases it — the textbook
+      covering scenario that breaks any local-decision protocol at
+      [m < n].
+
+    Both return the first violating execution found in a small bounded,
+    deterministic search, making the witness experiments (E5b)
+    independent of random-schedule luck. *)
+
+open Rsim_value
+open Rsim_shmem
+
+type witness = {
+  config : Run.config;  (** the final configuration *)
+  outputs : (int * Value.t) list;
+  description : string;  (** how the schedule was built *)
+}
+
+(** [phase_shifted ~procs ~m ~task ~max_turn] searches schedules that
+    alternate turns of [a] and [b] steps between processes 0 and 1
+    ([1 ≤ a, b ≤ max_turn]), finishing each process solo, and returns
+    the first execution whose outputs violate [task]. *)
+val phase_shifted :
+  procs:Proc.t list ->
+  m:int ->
+  task:Rsim_tasks.Task.t ->
+  max_turn:int ->
+  witness option
+
+(** [stale_writer ~procs ~m ~task] parks, in turn, each process after
+    [k] initial steps (for small [k]), runs the others to completion
+    round-robin, then releases the parked process solo; returns the
+    first violating execution. *)
+val stale_writer :
+  procs:Proc.t list -> m:int -> task:Rsim_tasks.Task.t -> witness option

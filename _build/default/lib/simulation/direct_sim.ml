@@ -1,0 +1,42 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+
+type t = {
+  aug : Aug.t;
+  me : int;
+  mutable proc : Proc.t;
+  journal : Journal.t;
+  mutable output : Value.t option;
+  mutable bus : int;
+}
+
+let make ~aug ~me ~proc ~journal =
+  { aug; me; proc; journal; output = None; bus = 0 }
+
+let output t = t.output
+let bu_count t = t.bus
+
+let body t _pid =
+  let rec loop () =
+    match Proc.poised t.proc with
+    | Proc.Scan ->
+      let view = Aug.scan t.aug ~me:t.me in
+      let serial = Journal.bump t.journal in
+      Journal.push t.journal (Journal.Jscan { serial; view });
+      t.proc <- Proc.step_scan t.proc view;
+      loop ()
+    | Proc.Update (j, v) ->
+      let result = Aug.block_update t.aug ~me:t.me [ (j, v) ] in
+      t.bus <- t.bus + 1;
+      let serial = Journal.bump t.journal in
+      let atomic = match result with `View _ -> true | `Yield -> false in
+      Journal.push t.journal
+        (Journal.Jbu { serial; updates = [ (j, v) ]; atomic });
+      t.proc <- Proc.step_update t.proc;
+      loop ()
+    | Proc.Output y ->
+      t.output <- Some y;
+      Journal.push t.journal (Journal.Jdecided { proc = 0; value = y })
+  in
+  loop ()

@@ -1,0 +1,25 @@
+(** Direct simulator (§4.1, Algorithm 5).
+
+    A direct simulator [q_i] simulates a single process step by step:
+    each scan via [M.Scan] and each update via a one-component
+    [M.Block-Update] whose return value is ignored. With [d = x] direct
+    simulators (given the highest identifiers), an [x]-obstruction-free
+    protocol guarantees their simulated processes terminate whenever
+    only they keep taking steps (Lemma 32). *)
+
+open Rsim_value
+
+type t
+
+val make :
+  aug:Rsim_augmented.Aug.t ->
+  me:int ->
+  proc:Rsim_shmem.Proc.t ->
+  journal:Journal.t ->
+  t
+
+(** The fiber body. Loops until the simulated process outputs. *)
+val body : t -> int -> unit
+
+val output : t -> Value.t option
+val bu_count : t -> int

@@ -1,0 +1,171 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+
+let src = Logs.Src.create "rsim.harness" ~doc:"Revisionist simulation harness"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type spec = {
+  protocol : int -> Value.t -> Proc.t;
+  n : int;
+  m : int;
+  f : int;
+  d : int;
+  inputs : Value.t list;
+}
+
+type result = {
+  outputs : (int * Value.t) list;
+  aug : Aug.t;
+  trace : Aug.F.trace_entry list;
+  journals : Journal.t array;
+  partition : int array array;
+  statuses : Rsim_runtime.Fiber.status array;
+  ops_per_sim : int array;
+  bu_counts : int array;
+  total_ops : int;
+  all_done : bool;
+}
+
+let partition ~m ~f ~d =
+  Array.init f (fun i ->
+      if i < f - d then Array.init m (fun g -> (i * m) + g)
+      else [| ((f - d) * m) + (i - (f - d)) |])
+
+let check_spec spec =
+  if spec.f < 1 then invalid_arg "Harness: f must be >= 1";
+  if spec.d < 0 || spec.d > spec.f then invalid_arg "Harness: need 0 <= d <= f";
+  if spec.m < 1 then invalid_arg "Harness: m must be >= 1";
+  if ((spec.f - spec.d) * spec.m) + spec.d > spec.n then
+    invalid_arg
+      (Printf.sprintf "Harness: (f-d)*m + d = %d exceeds n = %d"
+         (((spec.f - spec.d) * spec.m) + spec.d)
+         spec.n);
+  if List.length spec.inputs <> spec.f then
+    invalid_arg "Harness: need exactly f inputs"
+
+let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ~sched spec =
+  check_spec spec;
+  let aug = Aug.create ~f:spec.f ~m:spec.m () in
+  let part = partition ~m:spec.m ~f:spec.f ~d:spec.d in
+  let journals = Array.init spec.f (fun _ -> Journal.create ()) in
+  let inputs = Array.of_list spec.inputs in
+  let covering = Array.make spec.f None in
+  let direct = Array.make spec.f None in
+  let bodies =
+    List.init spec.f (fun i ->
+        if i < spec.f - spec.d then begin
+          let procs =
+            Array.map (fun pid -> spec.protocol pid inputs.(i)) part.(i)
+          in
+          let sim =
+            Covering_sim.make ~aug ~me:i ~procs ~journal:journals.(i) ~local_cap
+          in
+          covering.(i) <- Some sim;
+          Covering_sim.body sim
+        end
+        else begin
+          let pid = part.(i).(0) in
+          let sim =
+            Direct_sim.make ~aug ~me:i
+              ~proc:(spec.protocol pid inputs.(i))
+              ~journal:journals.(i)
+          in
+          direct.(i) <- Some sim;
+          Direct_sim.body sim
+        end)
+  in
+  Log.debug (fun k ->
+      k "starting simulation: n=%d m=%d f=%d d=%d" spec.n spec.m spec.f spec.d);
+  let fr = Aug.F.run ~max_ops ~sched ~apply:(Aug.apply aug) bodies in
+  Log.debug (fun k ->
+      k "simulation finished: %d H-operations, all_done=%b" fr.Aug.F.total_ops
+        (Array.for_all
+           (function Rsim_runtime.Fiber.Done -> true | _ -> false)
+           fr.Aug.F.statuses));
+  let output_of i =
+    match (covering.(i), direct.(i)) with
+    | Some c, _ -> Covering_sim.output c
+    | _, Some d -> Direct_sim.output d
+    | None, None -> None
+  in
+  let bu_of i =
+    match (covering.(i), direct.(i)) with
+    | Some c, _ -> Covering_sim.bu_count c
+    | _, Some d -> Direct_sim.bu_count d
+    | None, None -> 0
+  in
+  let outputs =
+    List.filter_map
+      (fun i -> Option.map (fun v -> (i, v)) (output_of i))
+      (List.init spec.f Fun.id)
+  in
+  {
+    outputs;
+    aug;
+    trace = fr.Aug.F.trace;
+    journals;
+    partition = part;
+    statuses = fr.Aug.F.statuses;
+    ops_per_sim = fr.Aug.F.ops_per_fiber;
+    bu_counts = Array.init spec.f bu_of;
+    total_ops = fr.Aug.F.total_ops;
+    all_done =
+      Array.for_all
+        (function Rsim_runtime.Fiber.Done -> true | _ -> false)
+        fr.Aug.F.statuses;
+  }
+
+let validate spec result ~task =
+  let failed =
+    Array.to_list result.statuses
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           match s with
+           | Rsim_runtime.Fiber.Failed e -> Some (i, Printexc.to_string e)
+           | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> None)
+  in
+  match failed with
+  | (i, e) :: _ -> Error (Printf.sprintf "simulator %d raised: %s" i e)
+  | [] ->
+    if not result.all_done then Error "simulation did not complete (not wait-free within the budget?)"
+    else if List.length result.outputs <> spec.f then
+      Error "not every simulator output a value"
+    else
+      Rsim_tasks.Task.check task ~inputs:spec.inputs
+        ~outputs:(List.map snd result.outputs)
+
+let architecture spec =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let covering = spec.f - spec.d in
+  add "REAL SYSTEM (f = %d simulators)\n" spec.f;
+  add "  q0 .. q%d : covering simulators (%d processes each)\n" (covering - 1)
+    spec.m;
+  if spec.d > 0 then
+    add "  q%d .. q%d : direct simulators (1 process each)\n" covering
+      (spec.f - 1);
+  add "        |\n";
+  add "        | access\n";
+  add "        v\n";
+  add "  [ %d-component single-writer snapshot H ]\n" spec.f;
+  add "        |  used to implement\n";
+  add "        v\n";
+  add "  [ %d-component augmented snapshot M ]\n" spec.m;
+  add "        |  used to simulate block updates to\n";
+  add "        v\n";
+  add "  [ %d-component multi-writer snapshot M ]\n" spec.m;
+  add "        ^\n";
+  add "        | accessed by\n";
+  add "  SIMULATED SYSTEM (n = %d processes; %d in use)\n" spec.n
+    (((spec.f - spec.d) * spec.m) + spec.d);
+  let part = partition ~m:spec.m ~f:spec.f ~d:spec.d in
+  Array.iteri
+    (fun i pids ->
+      add "  P%d = {%s}%s\n" i
+        (String.concat ","
+           (List.map (fun p -> "p" ^ string_of_int p) (Array.to_list pids)))
+        (if i < covering then "  (covering)" else "  (direct)"))
+    part;
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** End-to-end revisionist simulation (Theorem 21's construction).
+
+    Wires up the real system of Figure 1: [f] simulators — [f − d]
+    covering simulators with the lowest identifiers, each simulating [m]
+    processes, and [d] direct simulators, each simulating one process —
+    over one [m]-component augmented snapshot, which is itself
+    implemented from an [f]-component single-writer snapshot whose every
+    operation is a scheduling point.
+
+    Requires [(f − d)·m + d ≤ n]: enough simulated processes to go
+    around. Simulated process [p] gets the input of its simulator
+    (colorless tasks allow duplicated inputs), so if the simulation is
+    wait-free and the protocol solves the task for [n] processes, the
+    [f] simulators' outputs solve the task for their own inputs — the
+    reduction of Theorem 21. *)
+
+open Rsim_value
+open Rsim_shmem
+
+type spec = {
+  protocol : int -> Value.t -> Proc.t;
+      (** factory: simulated pid, input ↦ initial process *)
+  n : int;  (** simulated processes available *)
+  m : int;  (** components of the simulated snapshot M *)
+  f : int;  (** simulators *)
+  d : int;  (** direct simulators (the paper's x); the rest cover *)
+  inputs : Value.t list;  (** one input per simulator (length [f]) *)
+}
+
+type result = {
+  outputs : (int * Value.t) list;  (** simulator pid ↦ output *)
+  aug : Rsim_augmented.Aug.t;
+  trace : Rsim_augmented.Aug.F.trace_entry list;
+  journals : Journal.t array;
+  partition : int array array;  (** simulator ↦ global simulated pids *)
+  statuses : Rsim_runtime.Fiber.status array;
+  ops_per_sim : int array;  (** H-operations per simulator *)
+  bu_counts : int array;  (** M.Block-Updates applied per simulator *)
+  total_ops : int;
+  all_done : bool;
+}
+
+(** The assignment of simulated processes to simulators: covering
+    simulator [i < f−d] gets pids [i·m .. i·m+m−1]; direct simulator
+    [f−d+j] gets pid [(f−d)·m + j]. *)
+val partition : m:int -> f:int -> d:int -> int array array
+
+(** Run the simulation to completion (or until [max_ops] H-operations).
+    [local_cap] bounds each hidden local simulation. *)
+val run :
+  ?max_ops:int -> ?local_cap:int -> sched:Schedule.t -> spec -> result
+
+(** Check the simulators' outputs against a task, using the simulators'
+    inputs. Fails if any simulator raised, or if not all simulators
+    output. *)
+val validate : spec -> result -> task:Rsim_tasks.Task.t -> (unit, string) Stdlib.result
+
+(** ASCII rendering of Figure 1 for this spec. *)
+val architecture : spec -> string

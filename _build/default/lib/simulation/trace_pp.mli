@@ -1,0 +1,22 @@
+(** Human-readable rendering of simulation runs.
+
+    Debugging a revisionist simulation means reading three intertwined
+    timelines: raw [H]-operations, the M-operations they comprise, and
+    the simulators' journals (which simulated steps each M-operation
+    carried, where pasts were revised, which hidden steps were
+    inserted). These printers render each, plus a combined report. *)
+
+(** The raw single-writer-snapshot operations, one line each. *)
+val pp_htrace :
+  Format.formatter -> Rsim_augmented.Aug.F.trace_entry list -> unit
+
+(** The completed M-operations of an object, in completion order. *)
+val pp_mops : Format.formatter -> Rsim_augmented.Aug.t -> unit
+
+(** One simulator's journal: its M-ops, revisions (with ζ), adopted
+    outputs and final β·ξ tail. *)
+val pp_journal : Format.formatter -> sim:int -> Journal.t -> unit
+
+(** Everything about a finished run: architecture, per-simulator
+    journals, M-operation log, and outcome. *)
+val pp_run : Format.formatter -> Harness.spec -> Harness.result -> unit

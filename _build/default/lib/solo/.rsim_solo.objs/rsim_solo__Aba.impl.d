@@ -1,0 +1,1 @@
+lib/solo/aba.ml: Array Derandomize List Mrun Ndproto Objects Printf Rsim_shmem Rsim_value Value

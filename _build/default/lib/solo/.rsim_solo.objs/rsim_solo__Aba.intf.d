@@ -1,0 +1,1 @@
+lib/solo/aba.mli: Mrun Rsim_value Value

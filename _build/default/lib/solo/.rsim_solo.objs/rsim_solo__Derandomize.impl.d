@@ -1,0 +1,1 @@
+lib/solo/derandomize.ml: Array List Ndproto Rsim_value Solo_path Value

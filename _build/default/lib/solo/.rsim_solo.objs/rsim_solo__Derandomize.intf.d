@@ -1,0 +1,1 @@
+lib/solo/derandomize.mli: Ndproto Rsim_value Value

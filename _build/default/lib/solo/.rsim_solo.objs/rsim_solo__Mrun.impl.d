@@ -1,0 +1,1 @@
+lib/solo/mrun.ml: Array Derandomize Fun List Ndproto Objects Rsim_shmem Rsim_value Schedule Value

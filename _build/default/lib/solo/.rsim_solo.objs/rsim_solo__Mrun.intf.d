@@ -1,0 +1,1 @@
+lib/solo/mrun.mli: Derandomize Ndproto Rsim_shmem Rsim_value Value

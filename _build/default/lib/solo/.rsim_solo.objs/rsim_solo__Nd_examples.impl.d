@@ -1,0 +1,1 @@
+lib/solo/nd_examples.ml: List Ndproto Objects Printf Rsim_shmem Rsim_value Value

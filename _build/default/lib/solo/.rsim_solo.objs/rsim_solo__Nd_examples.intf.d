@@ -1,0 +1,1 @@
+lib/solo/nd_examples.mli: Ndproto

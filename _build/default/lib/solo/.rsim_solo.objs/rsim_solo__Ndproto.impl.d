@@ -1,0 +1,1 @@
+lib/solo/ndproto.ml: Array List Objects Printf Rsim_shmem Rsim_value Value

@@ -1,0 +1,1 @@
+lib/solo/ndproto.mli: Rsim_shmem Rsim_value Value

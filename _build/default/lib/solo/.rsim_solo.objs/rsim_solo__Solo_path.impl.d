@@ -1,0 +1,1 @@
+lib/solo/solo_path.ml: Array Hashtbl List Ndproto Queue Rsim_value Value

@@ -1,0 +1,1 @@
+lib/solo/solo_path.mli: Ndproto Rsim_value Value

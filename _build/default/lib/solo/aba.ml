@@ -1,0 +1,49 @@
+open Rsim_value
+open Rsim_shmem
+
+let has_aba vs =
+  (* v ... w ... v with w <> v: for each position, does the value recur
+     after an intervening different value? *)
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  let rec outer i =
+    if i >= n then false
+    else begin
+      let rec mid j saw_diff =
+        if j >= n then false
+        else if Value.equal arr.(j) arr.(i) then
+          if saw_diff then true else mid (j + 1) saw_diff
+        else mid (j + 1) true
+      in
+      if mid (i + 1) false then true else outer (i + 1)
+    end
+  in
+  outer 0
+
+let component_histories run =
+  let nd0 = Derandomize.nd (Mrun.proc run 0) in
+  let kinds = nd0.Ndproto.kinds in
+  let mem = Array.map Objects.initial kinds in
+  let hists = Array.map (fun v -> ref [ v ]) mem in
+  List.iter
+    (fun (e : Mrun.event) ->
+      match e.step with
+      | Ndproto.Nscan -> ()
+      | Ndproto.Nop (j, op) -> (
+        match Objects.apply kinds.(j) mem.(j) op with
+        | Ok (v', _) ->
+          if not (Value.equal v' mem.(j)) then hists.(j) := v' :: !(hists.(j));
+          mem.(j) <- v'
+        | Error e -> failwith ("Aba.component_histories: " ^ e)))
+    (Mrun.trace run);
+  Array.map (fun r -> List.rev !r) hists
+
+let check run =
+  let hists = component_histories run in
+  let rec go j =
+    if j >= Array.length hists then Ok ()
+    else if has_aba hists.(j) then
+      Error (Printf.sprintf "component %d exhibits ABA" j)
+    else go (j + 1)
+  in
+  go 0

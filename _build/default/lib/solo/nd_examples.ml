@@ -1,0 +1,114 @@
+open Rsim_value
+open Rsim_shmem
+
+let str s = Value.Str s
+let pair a b = Value.Pair (a, b)
+
+(* ---- coin consensus ---- *)
+
+(* States: ("w", v) poised to write; ("s", v) poised to scan;
+   ("d", v) final. [seq] tracks the per-process write counter in the
+   tagged variant: states carry (v, seq). *)
+
+let coin_consensus ?(tagged = false) ~me () =
+  if me <> 0 && me <> 1 then invalid_arg "coin_consensus: me must be 0 or 1";
+  let other = 1 - me in
+  let mk phase v seq = pair (str phase) (pair v (Value.Int seq)) in
+  let parse state =
+    match state with
+    | Value.Pair (Value.Str phase, Value.Pair (v, Value.Int seq)) ->
+      (phase, v, seq)
+    | _ -> failwith "coin_consensus: malformed state"
+  in
+  let tag v seq = if tagged then pair v (pair (Value.Int me) (Value.Int seq)) else v in
+  let untag cell =
+    if tagged then
+      match cell with
+      | Value.Pair (v, Value.Pair (Value.Int _, Value.Int _)) -> v
+      | other -> other
+    else cell
+  in
+  let view state =
+    match parse state with
+    | "w", v, seq -> `Step (Ndproto.Nop (me, Objects.Write (tag v seq)))
+    | "s", _, _ -> `Step Ndproto.Nscan
+    | "d", v, _ -> `Output v
+    | _ -> failwith "coin_consensus: unknown phase"
+  in
+  let delta state response =
+    match parse state with
+    | "w", v, seq -> [ mk "s" v seq ]
+    | "s", v, seq -> (
+      match response with
+      | Value.List cells -> (
+        let theirs = untag (List.nth cells other) in
+        match theirs with
+        | Value.Bot -> [ mk "d" v seq ]
+        | u when Value.equal u v -> [ mk "d" v seq ]
+        | u -> [ mk "w" v (seq + 1); mk "w" u (seq + 1) ])
+      | _ -> failwith "coin_consensus: bad scan response")
+    | _ -> failwith "coin_consensus: no transition from a final state"
+  in
+  {
+    Ndproto.name = Printf.sprintf "coin-consensus-%d%s" me (if tagged then "-tagged" else "");
+    m = 2;
+    kinds = [| Objects.Register; Objects.Register |];
+    init = (fun input -> mk "w" input 0);
+    view;
+    delta;
+  }
+
+(* ---- ticket ---- *)
+
+let ticket =
+  (* State encodings sort so that deciding states come first in the
+     total order on states: Theorem 35's fallback transition ("the first
+     state in δ(s, a)") then prefers deciding over regrabbing when the
+     scan response differs from the expectation. *)
+  let start = pair (str "start") Value.Bot in
+  let view state =
+    match state with
+    | Value.Pair (Value.Str "start", Value.Bot) ->
+      `Step (Ndproto.Nop (0, Objects.Fetch_inc))
+    | Value.Pair (Value.Str "maybe", Value.Int _) -> `Step Ndproto.Nscan
+    | Value.Pair (Value.Str "d", Value.Int t) -> `Output (Value.Int t)
+    | _ -> failwith "ticket: malformed state"
+  in
+  let delta state response =
+    match (state, response) with
+    | Value.Pair (Value.Str "start", Value.Bot), Value.Int t ->
+      [ pair (str "maybe") (Value.Int t) ]
+    | Value.Pair (Value.Str "maybe", Value.Int t), _ ->
+      [ pair (str "d") (Value.Int t); start ]
+    | _ -> failwith "ticket: no transition"
+  in
+  {
+    Ndproto.name = "ticket";
+    m = 1;
+    kinds = [| Objects.Fetch_and_increment |];
+    init = (fun _ -> start);
+    view;
+    delta;
+  }
+
+(* ---- hopeless ---- *)
+
+let hopeless =
+  let view state =
+    match state with
+    | Value.Int k -> `Step (Ndproto.Nop (0, Objects.Write (Value.Int k)))
+    | _ -> failwith "hopeless: malformed state"
+  in
+  let delta state _ =
+    match state with
+    | Value.Int k -> [ Value.Int (k + 1) ]
+    | _ -> failwith "hopeless: no transition"
+  in
+  {
+    Ndproto.name = "hopeless";
+    m = 1;
+    kinds = [| Objects.Register |];
+    init = (fun _ -> Value.Int 0);
+    view;
+    delta;
+  }

@@ -1,0 +1,44 @@
+open Rsim_value
+open Rsim_shmem
+
+type step = Nscan | Nop of int * Objects.op
+
+type t = {
+  name : string;
+  m : int;
+  kinds : Objects.kind array;
+  init : Value.t -> Value.t;
+  view : Value.t -> [ `Step of step | `Output of Value.t ];
+  delta : Value.t -> Value.t -> Value.t list;
+}
+
+let initial_ep t = Array.map Objects.initial t.kinds
+let view_of_ep ep = Value.List (Array.to_list ep)
+
+let apply_op t ~ep j op =
+  if j < 0 || j >= t.m then failwith "Ndproto: component out of range";
+  match Objects.apply t.kinds.(j) ep.(j) op with
+  | Ok (v', resp) -> (v', resp)
+  | Error e -> failwith ("Ndproto: " ^ e)
+
+let expected_response t ~ep = function
+  | Nscan -> view_of_ep ep
+  | Nop (j, op) -> snd (apply_op t ~ep j op)
+
+let update_ep t ~ep step ~response =
+  match step with
+  | Nscan -> (
+    match response with
+    | Value.List vs when List.length vs = t.m -> Array.of_list vs
+    | _ -> failwith "Ndproto: malformed scan response")
+  | Nop (j, op) ->
+    let ep' = Array.copy ep in
+    ep'.(j) <- fst (apply_op t ~ep j op);
+    ep'
+
+let successors t state response =
+  match t.delta state response with
+  | [] ->
+    failwith
+      (Printf.sprintf "Ndproto %s: delta returned no successors" t.name)
+  | ss -> List.sort_uniq Value.compare ss

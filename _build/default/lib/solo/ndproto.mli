@@ -1,0 +1,49 @@
+(** Nondeterministic protocols over one m-component object (§5.1–§5.2).
+
+    A protocol specifies, for each process, a nondeterministic state
+    machine [(S, ν, δ, I, F)]: [view] gives the next step ν (or the
+    output, for final states), and [delta] maps a non-final state and the
+    response of its step to a {e non-empty} list of successor states.
+    States are {!Rsim_value.Value.t}s; the total order on states required
+    by Theorem 35's construction is [Value.compare].
+
+    Following §5.2, each process conceptually stores a vector [E_p] — the
+    contents it expects a scan to return if no other process has taken
+    steps since its last scan. The framework maintains [E_p] outside the
+    user state: ops are simulated on it with the sequential object
+    semantics, scans overwrite it with the real response. *)
+
+open Rsim_value
+
+type step =
+  | Nscan  (** scan of all m components; response is [Value.List …] *)
+  | Nop of int * Rsim_shmem.Objects.op  (** operation on one component *)
+
+type t = {
+  name : string;
+  m : int;
+  kinds : Rsim_shmem.Objects.kind array;  (** per-component object kind *)
+  init : Value.t -> Value.t;  (** input ↦ initial state *)
+  view : Value.t -> [ `Step of step | `Output of Value.t ];
+  delta : Value.t -> Value.t -> Value.t list;
+      (** state, response ↦ non-empty successor candidates *)
+}
+
+(** Initial expected contents (each component's initial value). *)
+val initial_ep : t -> Value.t array
+
+(** Encode an m-vector as a scan response. *)
+val view_of_ep : Value.t array -> Value.t
+
+(** The response [step] would return if executed against [ep] (the solo
+    assumption). Raises [Failure] if the op is unsupported. *)
+val expected_response : t -> ep:Value.t array -> step -> Value.t
+
+(** [E_p] after performing [step] whose {e real} response was
+    [response]: scans adopt the response; component ops are simulated on
+    [ep]. *)
+val update_ep : t -> ep:Value.t array -> step -> response:Value.t -> Value.t array
+
+(** Successors of [state] under [response], sorted by the state order
+    (deduplicated). Raises [Failure] if [delta] returns an empty list. *)
+val successors : t -> Value.t -> Value.t -> Value.t list

@@ -1,0 +1,84 @@
+open Rsim_value
+
+(* BFS over composite nodes (state, ep). Keys are the structural values,
+   so visited-set lookups are exact. *)
+
+type node = { state : Value.t; ep : Value.t array }
+
+let key n = (n.state, Array.to_list n.ep)
+
+let children nd n =
+  match nd.Ndproto.view n.state with
+  | `Output _ -> []
+  | `Step step ->
+    let response = Ndproto.expected_response nd ~ep:n.ep step in
+    let ep' = Ndproto.update_ep nd ~ep:n.ep step ~response in
+    List.map
+      (fun s' -> (step, { state = s'; ep = ep' }))
+      (Ndproto.successors nd n.state response)
+
+let is_final nd n =
+  match nd.Ndproto.view n.state with `Output _ -> true | `Step _ -> false
+
+let bfs nd ~state ~ep ~cap =
+  let start = { state; ep } in
+  if is_final nd start then `Final
+  else begin
+    let visited = Hashtbl.create 64 in
+    Hashtbl.replace visited (key start) ();
+    let q = Queue.create () in
+    Queue.push (start, 0) q;
+    let explored = ref 0 in
+    let result = ref `No_path in
+    (try
+       while not (Queue.is_empty q) do
+         let n, depth = Queue.pop q in
+         incr explored;
+         if !explored > cap then raise Exit;
+         List.iter
+           (fun (step, child) ->
+             if is_final nd child then begin
+               result := `Found (depth + 1, step, child);
+               raise Exit
+             end;
+             if not (Hashtbl.mem visited (key child)) then begin
+               Hashtbl.replace visited (key child) ();
+               Queue.push (child, depth + 1) q
+             end)
+           (children nd n)
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* BFS finds some shortest path, but [first_move] must pick the minimal
+   first successor among shortest paths (the paper's "first state s'
+   such that there is a shortest p-solo path that begins with s, a, s'").
+   We compute the shortest length from each immediate successor and take
+   the order-minimal argmin. *)
+
+let shortest nd ~state ~ep ~cap =
+  match bfs nd ~state ~ep ~cap with
+  | `Final -> Some 0
+  | `Found (d, _, _) -> Some d
+  | `No_path -> None
+
+let first_move nd ~state ~ep ~cap =
+  match nd.Ndproto.view state with
+  | `Output _ -> None
+  | `Step step -> (
+    let response = Ndproto.expected_response nd ~ep step in
+    let ep' = Ndproto.update_ep nd ~ep step ~response in
+    let succ = Ndproto.successors nd state response in
+    let best =
+      List.fold_left
+        (fun acc s' ->
+          match shortest nd ~state:s' ~ep:ep' ~cap with
+          | None -> acc
+          | Some d -> (
+            match acc with
+            | Some (dbest, _) when dbest <= d -> acc
+            | _ -> Some (d, s')))
+        None succ
+    in
+    match best with Some (_, s') -> Some (step, s') | None -> None)

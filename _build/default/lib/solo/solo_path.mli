@@ -1,0 +1,25 @@
+(** Shortest solo paths (§5.2).
+
+    A p-solo path from a composite configuration [(state, E_p)] is an
+    execution in which every response is the one determined by [E_p]
+    (i.e. no other process takes steps), ending in a final state. BFS
+    over the composite graph finds the shortest one; Theorem 35's
+    derandomized protocol always steps to a successor that decreases
+    this length by one. *)
+
+open Rsim_value
+
+(** [shortest nd ~state ~ep ~cap] is the length (number of steps) of a
+    shortest solo path from [(state, ep)], or [None] if none exists
+    within [cap] explored nodes / depth. *)
+val shortest : Ndproto.t -> state:Value.t -> ep:Value.t array -> cap:int -> int option
+
+(** The first step of some shortest solo path, together with the
+    successor state chosen (minimal in the state order among those on
+    shortest paths). [None] if the state is final or no path exists. *)
+val first_move :
+  Ndproto.t ->
+  state:Value.t ->
+  ep:Value.t array ->
+  cap:int ->
+  (Ndproto.step * Value.t) option

@@ -1,0 +1,1 @@
+lib/tasks/task.ml: List Printf Rsim_value Value

@@ -1,0 +1,1 @@
+lib/tasks/task.mli: Rsim_value Value

@@ -1,0 +1,85 @@
+open Rsim_value
+
+type t = {
+  name : string;
+  valid_input : Value.t -> bool;
+  validate : inputs:Value.t list -> outputs:Value.t list -> (unit, string) result;
+}
+
+let check t ~inputs ~outputs =
+  if inputs = [] then Error "no inputs"
+  else
+    match List.find_opt (fun v -> not (t.valid_input v)) inputs with
+    | Some bad -> Error (Printf.sprintf "invalid input %s" (Value.show bad))
+    | None -> t.validate ~inputs ~outputs
+
+let is_member v vs = List.exists (Value.equal v) vs
+
+let all_inputs_rule ~inputs ~outputs =
+  match List.find_opt (fun o -> not (is_member o inputs)) outputs with
+  | Some bad ->
+    Error (Printf.sprintf "output %s is not any process's input" (Value.show bad))
+  | None -> Ok ()
+
+let consensus =
+  {
+    name = "consensus";
+    valid_input = (fun v -> not (Value.is_bot v));
+    validate =
+      (fun ~inputs ~outputs ->
+        match all_inputs_rule ~inputs ~outputs with
+        | Error _ as e -> e
+        | Ok () -> (
+          match Value.distinct outputs with
+          | [] | [ _ ] -> Ok ()
+          | many ->
+            Error
+              (Printf.sprintf "disagreement: %d distinct outputs"
+                 (List.length many))));
+  }
+
+let kset ~k =
+  if k < 1 then invalid_arg "Task.kset: k must be >= 1";
+  {
+    name = Printf.sprintf "%d-set agreement" k;
+    valid_input = (fun v -> not (Value.is_bot v));
+    validate =
+      (fun ~inputs ~outputs ->
+        match all_inputs_rule ~inputs ~outputs with
+        | Error _ as e -> e
+        | Ok () ->
+          let d = List.length (Value.distinct outputs) in
+          if d <= k then Ok ()
+          else Error (Printf.sprintf "%d distinct outputs > k = %d" d k));
+  }
+
+let approx ~eps =
+  if eps <= 0.0 then invalid_arg "Task.approx: eps must be positive";
+  let numeric v =
+    match v with Value.Int _ | Value.Float _ -> true | _ -> false
+  in
+  {
+    name = Printf.sprintf "%g-approximate agreement" eps;
+    valid_input = numeric;
+    validate =
+      (fun ~inputs ~outputs ->
+        if not (List.for_all numeric outputs) then Error "non-numeric output"
+        else begin
+          let xs = List.map Value.as_float_exn inputs in
+          let ys = List.map Value.as_float_exn outputs in
+          let lo = List.fold_left min infinity xs in
+          let hi = List.fold_left max neg_infinity xs in
+          match
+            List.find_opt (fun y -> y < lo -. 1e-12 || y > hi +. 1e-12) ys
+          with
+          | Some y -> Error (Printf.sprintf "output %g outside [%g, %g]" y lo hi)
+          | None ->
+            let ylo = List.fold_left min infinity ys in
+            let yhi = List.fold_left max neg_infinity ys in
+            if ys <> [] && yhi -. ylo > eps +. 1e-12 then
+              Error
+                (Printf.sprintf "outputs spread %g exceeds eps = %g"
+                   (yhi -. ylo) eps)
+            else Ok ()
+        end);
+  }

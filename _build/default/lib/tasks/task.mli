@@ -1,0 +1,31 @@
+(** Colorless tasks (§2).
+
+    A colorless task is specified by which input sets are allowed and
+    which output sets are valid for a given input set; it does not depend
+    on which process holds which value or on the number of processes.
+    [validate] receives the multiset of inputs of the participating
+    processes and the multiset of outputs produced, and says whether the
+    outputs are permitted. *)
+
+open Rsim_value
+
+type t = {
+  name : string;
+  valid_input : Value.t -> bool;
+  validate : inputs:Value.t list -> outputs:Value.t list -> (unit, string) result;
+}
+
+(** [check t ~inputs ~outputs] like [validate], also rejecting invalid
+    inputs and empty input sets. *)
+val check :
+  t -> inputs:Value.t list -> outputs:Value.t list -> (unit, string) result
+
+(** Consensus: all outputs equal, and every output is some input. *)
+val consensus : t
+
+(** k-set agreement: at most [k] distinct outputs, each some input. *)
+val kset : k:int -> t
+
+(** ε-approximate agreement on numeric inputs: outputs pairwise within
+    [eps] and inside [min inputs, max inputs]. *)
+val approx : eps:float -> t

@@ -1,0 +1,1 @@
+lib/topology/sperner.ml: Fun Hashtbl List Option Rsim_value

@@ -1,0 +1,148 @@
+type vertex = int * int
+
+type triangle = vertex * vertex * vertex
+
+let vertices ~s =
+  List.concat_map
+    (fun i -> List.init (s - i + 1) (fun j -> (i, j)))
+    (List.init (s + 1) Fun.id)
+
+let mk_tri a b c =
+  match List.sort compare [ a; b; c ] with
+  | [ x; y; z ] -> (x, y, z)
+  | _ -> assert false
+
+let triangles ~s =
+  let up =
+    List.concat_map
+      (fun i ->
+        List.init
+          (max 0 (s - i))
+          (fun j -> mk_tri (i, j) (i + 1, j) (i, j + 1)))
+      (List.init s Fun.id)
+  in
+  let down =
+    List.concat_map
+      (fun i ->
+        List.init
+          (max 0 (s - i - 1))
+          (fun j -> mk_tri (i + 1, j) (i, j + 1) (i + 1, j + 1)))
+      (List.init (max 0 (s - 1)) Fun.id)
+  in
+  up @ down
+
+let allowed_colors ~s (i, j) =
+  let k = s - i - j in
+  List.filter_map
+    (fun (coord, color) -> if coord > 0 then Some color else None)
+    [ (i, 0); (j, 1); (k, 2) ]
+
+let valid ~s ~coloring =
+  List.for_all
+    (fun v ->
+      let c = coloring v in
+      List.mem c (allowed_colors ~s v))
+    (vertices ~s)
+
+let colors_of coloring (a, b, c) =
+  List.sort_uniq compare [ coloring a; coloring b; coloring c ]
+
+let trichromatic ~s ~coloring =
+  List.filter (fun t -> colors_of coloring t = [ 0; 1; 2 ]) (triangles ~s)
+
+(* ---- the constructive door-to-door walk ---- *)
+
+(* A door is an edge whose endpoints are colored {0, 1}. Doors appear on
+   the boundary only along the k = 0 edge, so a walk entering through a
+   boundary door either reaches a trichromatic cell (which has exactly
+   one door) or exits through another boundary door; parity guarantees
+   some boundary door leads inside. *)
+
+let edges_of (a, b, c) = [ (a, b); (a, c); (b, c) ]
+
+let edge_key (a, b) = if compare a b <= 0 then (a, b) else (b, a)
+
+let is_door coloring (a, b) =
+  List.sort_uniq compare [ coloring a; coloring b ] = [ 0; 1 ]
+
+let find_by_walk ~s ~coloring =
+  if not (valid ~s ~coloring) then None
+  else begin
+    let tris = triangles ~s in
+    (* edge -> incident triangles *)
+    let by_edge = Hashtbl.create (4 * List.length tris) in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun e ->
+            let k = edge_key e in
+            Hashtbl.replace by_edge k (t :: (Option.value ~default:[] (Hashtbl.find_opt by_edge k))))
+          (edges_of t))
+      tris;
+    (* boundary doors on the k = 0 edge: segments ((i, s-i), (i+1, s-i-1)) *)
+    let boundary_doors =
+      List.filter_map
+        (fun i ->
+          let e = edge_key ((i, s - i), (i + 1, s - i - 1)) in
+          if is_door coloring e then Some e else None)
+        (List.init s Fun.id)
+    in
+    let used = Hashtbl.create 16 in
+    (* Walk from a boundary door; return the trichromatic cell if the
+       walk ends inside. *)
+    let walk_from door =
+      Hashtbl.replace used door ();
+      let rec go entered_through tri =
+        if colors_of coloring tri = [ 0; 1; 2 ] then Some tri
+        else begin
+          (* a non-trichromatic triangle with a door has exactly two *)
+          match
+            List.find_opt
+              (fun e -> edge_key e <> entered_through && is_door coloring e)
+              (edges_of tri)
+          with
+          | None -> None (* cannot happen for valid colorings *)
+          | Some exit_edge -> (
+            let key = edge_key exit_edge in
+            match
+              List.filter (fun t -> t <> tri)
+                (Option.value ~default:[] (Hashtbl.find_opt by_edge key))
+            with
+            | next :: _ -> go key next
+            | [] ->
+              (* exited through another boundary door *)
+              Hashtbl.replace used key ();
+              None)
+        end
+      in
+      match Hashtbl.find_opt by_edge door with
+      | Some (t :: _) -> go door t
+      | _ -> None
+    in
+    let rec try_doors = function
+      | [] -> None
+      | d :: rest ->
+        if Hashtbl.mem used d then try_doors rest
+        else begin
+          match walk_from d with
+          | Some t -> Some t
+          | None -> try_doors rest
+        end
+    in
+    try_doors boundary_doors
+  end
+
+let random_coloring ~s ~seed =
+  let tbl = Hashtbl.create 64 in
+  let g = ref (Rsim_value.Prng.make seed) in
+  List.iter
+    (fun v ->
+      let allowed = allowed_colors ~s v in
+      let c, g' = Rsim_value.Prng.choose !g allowed in
+      g := g';
+      Hashtbl.replace tbl v c)
+    (vertices ~s);
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some c -> c
+    | None -> invalid_arg "Sperner.random_coloring: vertex out of range"

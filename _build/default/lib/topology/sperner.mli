@@ -1,0 +1,53 @@
+(** Sperner's lemma — the combinatorial engine behind the reduction's
+    target.
+
+    Theorem 21 reduces space lower bounds to the impossibility of
+    wait-free k-set agreement, which the paper cites as following from
+    topological arguments built on Sperner's lemma [14, 34, 41, 44]: any
+    Sperner coloring of a subdivided simplex has an odd number (hence at
+    least one) of panchromatic cells. Intuition for k = 2: processes'
+    final views map the subdivided triangle's vertices to decisions
+    respecting carriers; a trichromatic triangle is a set of mutually
+    "compatible" views forced to output three distinct values —
+    contradicting 2-set agreement.
+
+    This module makes that engine executable for the 2-dimensional case:
+    the standard subdivision of a triangle at scale [s], validity of
+    Sperner colorings, exhaustive counting of trichromatic cells, and
+    the constructive {e door-to-door walk} that finds one in O(s²)
+    steps. Tests verify the parity claim (the count is odd) over random
+    valid colorings.
+
+    Coordinates: a vertex is [(i, j)] with [0 ≤ i + j ≤ s]; its third
+    barycentric coordinate is [k = s − i − j]. Corners: [(s,0)] has
+    color 0, [(0,s)] color 1, [(0,0)] color 2. A coloring is Sperner if
+    each vertex uses a color whose corner coordinate is positive. *)
+
+type vertex = int * int
+
+type triangle = vertex * vertex * vertex
+
+(** All subdivision vertices at scale [s] ([(s+1)(s+2)/2] of them). *)
+val vertices : s:int -> vertex list
+
+(** All cells ([s²] of them: upward and downward). *)
+val triangles : s:int -> triangle list
+
+(** The carrier constraint: colors vertex [(i,j)] may legally take. *)
+val allowed_colors : s:int -> vertex -> int list
+
+(** Whether the coloring is a valid Sperner coloring at scale [s]
+    (colors in [0..2], carrier-respecting). *)
+val valid : s:int -> coloring:(vertex -> int) -> bool
+
+(** All trichromatic cells. Sperner's lemma: for valid colorings this
+    list has odd length. *)
+val trichromatic : s:int -> coloring:(vertex -> int) -> triangle list
+
+(** The constructive proof: walk through 0–1 "doors" from the [k = 0]
+    boundary edge until a trichromatic cell is reached. Returns [None]
+    only if the coloring is invalid. *)
+val find_by_walk : s:int -> coloring:(vertex -> int) -> triangle option
+
+(** A uniformly random valid coloring (deterministic in the seed). *)
+val random_coloring : s:int -> seed:int -> vertex -> int

@@ -1,0 +1,1 @@
+lib/value/prng.pp.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/value/prng.pp.mli:

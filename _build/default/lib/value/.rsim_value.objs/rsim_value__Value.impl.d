@@ -1,0 +1,1 @@
+lib/value/value.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,29 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized schedulers and tests in this repository draw from this
+    PRNG rather than [Stdlib.Random], so that every execution is exactly
+    reproducible from a seed. The generator is a 64-bit SplitMix64, which
+    has good statistical quality for test-case generation and is trivially
+    splittable. *)
+
+type t
+
+val make : int -> t
+
+(** [int t bound] returns [(k, t')] with [0 <= k < bound].
+    Raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int * t
+
+val bool : t -> bool * t
+
+(** Uniform float in [0, 1). *)
+val float : t -> float * t
+
+(** [choose t xs] picks a uniform element of [xs]. Raises on empty list. *)
+val choose : t -> 'a list -> 'a * t
+
+(** [split t] returns two independent generators. *)
+val split : t -> t * t
+
+(** [shuffle t xs] is a uniform permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list * t

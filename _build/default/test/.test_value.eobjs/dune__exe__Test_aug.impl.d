@@ -1,0 +1,1 @@
+test/test_aug.ml: Alcotest Array Aug Aug_spec Fun List Printf Prng QCheck QCheck_alcotest Rsim_augmented Rsim_runtime Rsim_shmem Rsim_value Schedule String Value

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Buffer Format List Lower Printf QCheck QCheck_alcotest Rsim_bounds Tables Upper

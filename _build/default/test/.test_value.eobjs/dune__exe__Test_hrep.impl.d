@@ -1,0 +1,1 @@
+test/test_hrep.ml: Alcotest Array Hrep List Printf QCheck QCheck_alcotest Rsim_augmented Rsim_value String Value Vts

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Linearize List Prng QCheck QCheck_alcotest Rsim_shmem Rsim_value Value

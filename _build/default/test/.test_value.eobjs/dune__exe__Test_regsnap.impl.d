@@ -1,0 +1,1 @@
+test/test_regsnap.ml: Alcotest Array Fun Linearize List Printf Prng QCheck QCheck_alcotest Regsnap Rsim_regsnap Rsim_runtime Rsim_shmem Rsim_value Schedule Value

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fiber List QCheck QCheck_alcotest Rsim_runtime Rsim_shmem Schedule

@@ -1,0 +1,1 @@
+test/test_shmem.ml: Alcotest Array Exec Fun List Objects Printf Proc QCheck QCheck_alcotest Result Rsim_protocols Rsim_shmem Rsim_value Run Schedule Snapshot Value

@@ -1,0 +1,1 @@
+test/test_solo.ml: Aba Alcotest Array Derandomize Fun List Mrun Nd_examples Ndproto Objects Printf QCheck QCheck_alcotest Rsim_shmem Rsim_solo Rsim_value Schedule Solo_path Value

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Gen Int List QCheck QCheck_alcotest Rsim_tasks Rsim_value Task Value

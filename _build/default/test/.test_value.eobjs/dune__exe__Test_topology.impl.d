@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Rsim_topology Sperner

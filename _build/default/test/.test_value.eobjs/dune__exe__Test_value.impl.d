@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Int List Prng QCheck QCheck_alcotest Rsim_value Value

@@ -1,0 +1,393 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+
+let check_spec name (aug, (result : Aug.F.result)) =
+  let report = Aug_spec.check aug result.trace in
+  if not report.Aug_spec.ok then
+    Alcotest.failf "%s: spec violations:@.%a" name Aug_spec.pp_report report
+
+let no_failures (result : Aug.F.result) =
+  Array.iter
+    (function
+      | Rsim_runtime.Fiber.Failed e -> raise e
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+    result.statuses
+
+(* ---- solo behaviour ---- *)
+
+let test_solo_basic () =
+  let views = ref [] in
+  let aug = Aug.create ~f:1 ~m:3 () in
+  let result =
+    Aug.F.run ~sched:Schedule.round_robin ~apply:(Aug.apply aug)
+      [
+        (fun _ ->
+          (match Aug.block_update aug ~me:0 [ (0, Value.Int 1); (2, Value.Int 3) ] with
+          | `View v -> views := ("bu", v) :: !views
+          | `Yield -> Alcotest.fail "q0 must be atomic");
+          let v = Aug.scan aug ~me:0 in
+          views := ("scan", v) :: !views);
+      ]
+  in
+  no_failures result;
+  (match List.assoc_opt "bu" !views with
+  | Some v ->
+    Alcotest.(check bool) "BU returned the initial view" true
+      (Array.for_all Value.is_bot v)
+  | None -> Alcotest.fail "no BU view");
+  (match List.assoc_opt "scan" !views with
+  | Some v ->
+    Alcotest.(check bool) "scan sees comp 0" true (Value.equal v.(0) (Value.Int 1));
+    Alcotest.(check bool) "scan sees comp 2" true (Value.equal v.(2) (Value.Int 3));
+    Alcotest.(check bool) "comp 1 untouched" true (Value.is_bot v.(1))
+  | None -> Alcotest.fail "no scan view");
+  check_spec "solo" (aug, result)
+
+let test_bu_step_count () =
+  let aug = Aug.create ~f:2 ~m:2 () in
+  let result =
+    Aug.F.run ~sched:Schedule.round_robin ~apply:(Aug.apply aug)
+      [
+        (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 1) ]));
+        (fun _ -> ignore (Aug.block_update aug ~me:1 [ (1, Value.Int 2) ]));
+      ]
+  in
+  no_failures result;
+  List.iter
+    (function
+      | Aug.Bu_op { n_ops; result = Aug.Atomic _; _ } ->
+        Alcotest.(check int) "atomic BU takes 6 steps" 6 n_ops
+      | Aug.Bu_op { n_ops; result = Aug.Yield; _ } ->
+        Alcotest.(check int) "yield BU takes 5 steps" 5 n_ops
+      | Aug.Scan_op _ -> ())
+    (Aug.log aug);
+  check_spec "step count" (aug, result)
+
+let test_forced_yield () =
+  (* q1 starts a Block-Update (performs its line-2 scan), then q0 performs
+     a complete Block-Update, then q1 resumes: q1 must observe the
+     lower-identifier update and return Y. *)
+  let q1_result = ref None in
+  let aug = Aug.create ~f:2 ~m:2 () in
+  let sched = Schedule.script [ 1; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1 ] in
+  let result =
+    Aug.F.run ~sched ~apply:(Aug.apply aug)
+      [
+        (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 10) ]));
+        (fun _ -> q1_result := Some (Aug.block_update aug ~me:1 [ (1, Value.Int 20) ]));
+      ]
+  in
+  no_failures result;
+  (match !q1_result with
+  | Some `Yield -> ()
+  | Some (`View _) -> Alcotest.fail "q1 should have yielded"
+  | None -> Alcotest.fail "q1 did not finish");
+  check_spec "forced yield" (aug, result)
+
+let test_no_yield_without_contention () =
+  (* Sequential Block-Updates never yield. *)
+  let aug = Aug.create ~f:3 ~m:3 () in
+  let results = Array.make 3 None in
+  let result =
+    Aug.F.run ~sched:(Schedule.script (List.concat_map (fun p -> List.init 6 (fun _ -> p)) [ 2; 1; 0; 2; 0 ]))
+      ~apply:(Aug.apply aug)
+      [
+        (fun _ ->
+          results.(0) <- Some (Aug.block_update aug ~me:0 [ (0, Value.Int 1) ]);
+          ignore (Aug.block_update aug ~me:0 [ (1, Value.Int 2) ]));
+        (fun _ -> results.(1) <- Some (Aug.block_update aug ~me:1 [ (1, Value.Int 3) ]));
+        (fun _ ->
+          results.(2) <- Some (Aug.block_update aug ~me:2 [ (2, Value.Int 4) ]);
+          ignore (Aug.block_update aug ~me:2 [ (0, Value.Int 5) ]));
+      ]
+  in
+  no_failures result;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (`View _) -> ()
+      | Some `Yield -> Alcotest.failf "q%d yielded without step contention" i
+      | None -> ())
+    results;
+  check_spec "sequential" (aug, result)
+
+let test_higher_id_does_not_force_yield () =
+  (* q1's complete Block-Update inside q0's interval must NOT make q0
+     yield (q0 has no lower-identifier process). *)
+  let q0_result = ref None in
+  let aug = Aug.create ~f:2 ~m:2 () in
+  let sched = Schedule.script [ 0; 1; 1; 1; 1; 1; 1; 0; 0; 0; 0; 0 ] in
+  let result =
+    Aug.F.run ~sched ~apply:(Aug.apply aug)
+      [
+        (fun _ -> q0_result := Some (Aug.block_update aug ~me:0 [ (0, Value.Int 10) ]));
+        (fun _ -> ignore (Aug.block_update aug ~me:1 [ (1, Value.Int 20) ]));
+      ]
+  in
+  no_failures result;
+  (match !q0_result with
+  | Some (`View _) -> ()
+  | Some `Yield -> Alcotest.fail "q0 yielded"
+  | None -> Alcotest.fail "q0 did not finish");
+  check_spec "higher id" (aug, result)
+
+let test_scan_sees_last_update () =
+  let aug = Aug.create ~f:2 ~m:2 () in
+  let seen = ref [||] in
+  let result =
+    Aug.F.run ~sched:(Schedule.script (List.init 6 (fun _ -> 0) @ List.init 10 (fun _ -> 1)))
+      ~apply:(Aug.apply aug)
+      [
+        (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 7) ]));
+        (fun _ -> seen := Aug.scan aug ~me:1);
+      ]
+  in
+  no_failures result;
+  Alcotest.(check bool) "scan after BU sees it" true
+    (Value.equal !seen.(0) (Value.Int 7));
+  check_spec "scan sees update" (aug, result)
+
+let test_block_update_validation () =
+  let aug = Aug.create ~f:1 ~m:2 () in
+  let result =
+    Aug.F.run ~sched:Schedule.round_robin ~apply:(Aug.apply aug)
+      [
+        (fun _ ->
+          (try ignore (Aug.block_update aug ~me:0 []) with
+          | Invalid_argument _ -> ());
+          (try ignore (Aug.block_update aug ~me:0 [ (0, Value.Bot); (0, Value.Bot) ])
+           with Invalid_argument _ -> ());
+          try ignore (Aug.block_update aug ~me:0 [ (5, Value.Bot) ])
+          with Invalid_argument _ -> ());
+      ]
+  in
+  no_failures result;
+  Alcotest.(check int) "nothing logged" 0 (List.length (Aug.log aug))
+
+(* ---- exhaustive model checking over ALL interleavings ---- *)
+
+(* Enumerate every complete interleaving of the given fiber programs by
+   DFS over schedule prefixes, replaying from scratch each time (the
+   effect-fiber continuations are one-shot, so branching requires
+   replay; programs are tiny, so this is cheap). Each complete execution
+   is checked against the full §3 specification. *)
+let exhaustive_check ~f ~m ~bodies ~max_len =
+  let executions = ref 0 in
+  let replay script =
+    let aug = Aug.create ~f ~m () in
+    let result =
+      Aug.F.run ~max_ops:(max_len + 1)
+        ~sched:(Schedule.script script)
+        ~apply:(Aug.apply aug)
+        (bodies aug)
+    in
+    (aug, result)
+  in
+  let rec explore script =
+    if List.length script > max_len then
+      Alcotest.failf "exhaustive: schedule exceeded %d steps" max_len
+    else begin
+      let aug, result = replay script in
+      let live =
+        List.filter
+          (fun pid -> result.Aug.F.statuses.(pid) = Rsim_runtime.Fiber.Pending)
+          (List.init f Fun.id)
+      in
+      (* Only branch when the whole script was consumed; a script that
+         ends early (fiber done) is a complete execution. *)
+      if live = [] then begin
+        incr executions;
+        no_failures result;
+        let report = Aug_spec.check aug result.Aug.F.trace in
+        if not report.Aug_spec.ok then
+          Alcotest.failf "exhaustive: script [%s] violates the spec:@.%a"
+            (String.concat ";" (List.map string_of_int script))
+            Aug_spec.pp_report report
+      end
+      else
+        List.iter (fun pid -> explore (script @ [ pid ])) live
+    end
+  in
+  explore [];
+  !executions
+
+let test_exhaustive_two_bus () =
+  let bodies aug =
+    [
+      (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 1) ]));
+      (fun _ -> ignore (Aug.block_update aug ~me:1 [ (0, Value.Int 2) ]));
+    ]
+  in
+  let n = exhaustive_check ~f:2 ~m:2 ~bodies ~max_len:16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d interleavings of two conflicting BUs pass" n)
+    true (n > 200)
+
+let test_exhaustive_bu_vs_scan () =
+  let bodies aug =
+    [
+      (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 1); (1, Value.Int 2) ]));
+      (fun _ -> ignore (Aug.scan aug ~me:1));
+    ]
+  in
+  let n = exhaustive_check ~f:2 ~m:2 ~bodies ~max_len:20 in
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d interleavings of BU vs Scan pass" n)
+    true (n > 100)
+
+let test_exhaustive_bu_then_scan_each () =
+  let bodies aug =
+    [
+      (fun _ ->
+        ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 1) ]);
+        ignore (Aug.scan aug ~me:0));
+      (fun _ -> ignore (Aug.block_update aug ~me:1 [ (1, Value.Int 2) ]));
+    ]
+  in
+  let n = exhaustive_check ~f:2 ~m:2 ~bodies ~max_len:24 in
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d interleavings of BU;Scan vs BU pass" n)
+    true (n > 500)
+
+(* ---- randomized adversarial workloads, checked against the spec ---- *)
+
+let random_body ~aug ~m ~n_ops ~seed pid =
+  let g = ref (Prng.make (seed + (1000 * pid))) in
+  let draw n =
+    let k, g' = Prng.int !g n in
+    g := g';
+    k
+  in
+  for _ = 1 to n_ops do
+    if draw 3 = 0 then ignore (Aug.scan aug ~me:pid)
+    else begin
+      let r = 1 + draw (min m 3) in
+      let comps = ref [] in
+      while List.length !comps < r do
+        let j = draw m in
+        if not (List.mem j !comps) then comps := j :: !comps
+      done;
+      let updates = List.map (fun j -> (j, Value.Int (draw 100))) !comps in
+      ignore (Aug.block_update aug ~me:pid updates)
+    end
+  done
+
+let random_workload_case ~f ~m ~n_ops ~seed () =
+  let aug = Aug.create ~f ~m () in
+  let result =
+    Aug.F.run ~max_ops:20_000
+      ~sched:(Schedule.random ~seed)
+      ~apply:(Aug.apply aug)
+      (List.init f (fun _ -> random_body ~aug ~m ~n_ops ~seed))
+  in
+  no_failures result;
+  check_spec (Printf.sprintf "random f=%d m=%d seed=%d" f m seed) (aug, result)
+
+let prop_random_workloads =
+  QCheck.Test.make ~name:"random workloads satisfy the §3 spec" ~count:40
+    QCheck.(triple (int_bound 10_000) (int_range 2 4) (int_range 2 4))
+    (fun (seed, f, m) ->
+      let aug = Aug.create ~f ~m () in
+      let result =
+        Aug.F.run ~max_ops:20_000
+          ~sched:(Schedule.random ~seed)
+          ~apply:(Aug.apply aug)
+          (List.init f (fun _ -> random_body ~aug ~m ~n_ops:6 ~seed))
+      in
+      no_failures result;
+      let report = Aug_spec.check aug result.trace in
+      if not report.Aug_spec.ok then
+        QCheck.Test.fail_reportf "spec violations: %a" Aug_spec.pp_report report
+      else true)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"aug executions deterministic in the seed" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let go () =
+        let aug = Aug.create ~f:3 ~m:2 () in
+        let result =
+          Aug.F.run ~max_ops:5_000
+            ~sched:(Schedule.random ~seed)
+            ~apply:(Aug.apply aug)
+            (List.init 3 (fun _ -> random_body ~aug ~m:2 ~n_ops:4 ~seed))
+        in
+        List.map (fun (e : Aug.F.trace_entry) -> e.pid) result.trace
+      in
+      go () = go ())
+
+let test_scan_blocked_by_updates () =
+  (* A Scan interleaved with continuous Block-Updates takes extra
+     iterations but its step count stays within 2k+3 (Lemma 2). *)
+  let aug = Aug.create ~f:2 ~m:2 () in
+  (* q1 scans; q0 does 3 BUs. Interleave: give q1 one op, then q0 six,
+     repeatedly. *)
+  let pattern =
+    [ 1; 0; 0; 0; 0; 0; 0; 1; 1; 0; 0; 0; 0; 0; 0; 1; 1; 0; 0; 0; 0; 0; 0 ]
+    @ List.init 10 (fun _ -> 1)
+  in
+  let result =
+    Aug.F.run ~sched:(Schedule.script pattern) ~apply:(Aug.apply aug)
+      [
+        (fun _ ->
+          for i = 1 to 3 do
+            ignore (Aug.block_update aug ~me:0 [ (0, Value.Int i) ])
+          done);
+        (fun _ -> ignore (Aug.scan aug ~me:1));
+      ]
+  in
+  no_failures result;
+  check_spec "scan under contention" (aug, result);
+  let scan_ops =
+    List.filter_map
+      (function Aug.Scan_op { n_ops; _ } -> Some n_ops | Aug.Bu_op _ -> None)
+      (Aug.log aug)
+  in
+  (match scan_ops with
+  | [ n ] -> Alcotest.(check bool) "scan retried" true (n > 3)
+  | _ -> Alcotest.fail "expected exactly one completed scan")
+
+let () =
+  Alcotest.run "aug"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "solo BU + scan" `Quick test_solo_basic;
+          Alcotest.test_case "step counts" `Quick test_bu_step_count;
+          Alcotest.test_case "validation" `Quick test_block_update_validation;
+        ] );
+      ( "yield discipline",
+        [
+          Alcotest.test_case "forced yield" `Quick test_forced_yield;
+          Alcotest.test_case "no yield without contention" `Quick
+            test_no_yield_without_contention;
+          Alcotest.test_case "higher id no yield" `Quick
+            test_higher_id_does_not_force_yield;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "scan sees last update" `Quick test_scan_sees_last_update;
+          Alcotest.test_case "scan under contention" `Quick test_scan_blocked_by_updates;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "two conflicting BUs" `Quick test_exhaustive_two_bus;
+          Alcotest.test_case "BU vs Scan" `Quick test_exhaustive_bu_vs_scan;
+          Alcotest.test_case "BU;Scan vs BU" `Quick test_exhaustive_bu_then_scan_each;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "random f=2 m=2" `Quick
+            (random_workload_case ~f:2 ~m:2 ~n_ops:8 ~seed:1);
+          Alcotest.test_case "random f=3 m=3" `Quick
+            (random_workload_case ~f:3 ~m:3 ~n_ops:8 ~seed:2);
+          Alcotest.test_case "random f=4 m=2" `Quick
+            (random_workload_case ~f:4 ~m:2 ~n_ops:8 ~seed:3);
+          Alcotest.test_case "random f=4 m=4" `Quick
+            (random_workload_case ~f:4 ~m:4 ~n_ops:8 ~seed:4);
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_workloads; prop_deterministic ] );
+    ]

@@ -1,0 +1,148 @@
+open Rsim_bounds
+
+let test_cor33 () =
+  (* ⌊(n − x)/(k + 1 − x)⌋ + 1 *)
+  Alcotest.(check int) "n=8 k=2 x=1" 4 (Lower.kset ~n:8 ~k:2 ~x:1);
+  Alcotest.(check int) "n=8 k=2 x=2" 7 (Lower.kset ~n:8 ~k:2 ~x:2);
+  Alcotest.(check int) "n=10 k=3 x=1" 4 (Lower.kset ~n:10 ~k:3 ~x:1);
+  Alcotest.check_raises "x > k rejected"
+    (Invalid_argument "Lower.kset: need 1 <= x <= k < n") (fun () ->
+      ignore (Lower.kset ~n:8 ~k:2 ~x:3));
+  Alcotest.check_raises "k >= n rejected"
+    (Invalid_argument "Lower.kset: need 1 <= x <= k < n") (fun () ->
+      ignore (Lower.kset ~n:4 ~k:4 ~x:1))
+
+let test_consensus_tight () =
+  (* Corollary 33, k = x = 1: exactly n; matches the upper bound. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "consensus lower at n=%d" n)
+        n (Lower.consensus ~n);
+      Alcotest.(check int)
+        (Printf.sprintf "upper matches at n=%d" n)
+        (Lower.consensus ~n) (Upper.consensus ~n))
+    [ 2; 3; 5; 10; 100; 1000 ]
+
+let test_nminus1_tight () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "(n-1)-set at n=%d" n)
+        2 (Lower.nminus1_set ~n);
+      Alcotest.(check int) "upper" 2 (Upper.kset ~n ~k:(n - 1) ~x:1))
+    [ 3; 4; 10; 64 ]
+
+let test_lower_le_upper () =
+  (* Sanity: the lower bound never exceeds the upper bound. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun x ->
+              if 1 <= x && x <= k && k < n then
+                Alcotest.(check bool)
+                  (Printf.sprintf "n=%d k=%d x=%d" n k x)
+                  true
+                  (Lower.kset ~n ~k ~x <= Upper.kset ~n ~k ~x))
+            [ 1; 2; 3; 5 ])
+        [ 1; 2; 3; 5; 7 ])
+    [ 2; 4; 8; 16; 33 ]
+
+let test_monotonicity () =
+  (* More processes need more registers; tolerating more concurrency (x)
+     needs more registers; easier tasks (larger k) need fewer. *)
+  Alcotest.(check bool) "monotone in n" true
+    (Lower.kset ~n:20 ~k:3 ~x:1 >= Lower.kset ~n:10 ~k:3 ~x:1);
+  Alcotest.(check bool) "monotone in x" true
+    (Lower.kset ~n:20 ~k:3 ~x:3 >= Lower.kset ~n:20 ~k:3 ~x:1);
+  Alcotest.(check bool) "antitone in k" true
+    (Lower.kset ~n:20 ~k:5 ~x:1 <= Lower.kset ~n:20 ~k:2 ~x:1)
+
+let test_approx_bound () =
+  (* The √(log₂ log₃ 1/ε) − 2 term grows so slowly that it dominates the
+     min for every float-representable ε (to reach the ⌊n/2⌋+1 cap at
+     n = 8 one would need ε ≤ 3^(-2^49)). Check the formula directly and
+     its monotonicity. *)
+  let formula ~n ~eps =
+    let inner = log (1.0 /. eps) /. log 3.0 in
+    if inner <= 1.0 then 1
+    else
+      max 1
+        (min ((n / 2) + 1)
+           (int_of_float (floor (sqrt (log inner /. log 2.0) -. 2.0))))
+  in
+  List.iter
+    (fun (n, eps) ->
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d eps=%g" n eps)
+        (formula ~n ~eps) (Lower.approx ~n ~eps))
+    [ (8, 1e-300); (1000, 1e-3); (2, 0.5); (64, 1e-100) ];
+  Alcotest.(check bool) "monotone as eps shrinks" true
+    (Lower.approx ~n:64 ~eps:1e-200 >= Lower.approx ~n:64 ~eps:1e-2);
+  Alcotest.(check bool) "bound at least 1" true (Lower.approx ~n:2 ~eps:0.5 >= 1);
+  Alcotest.check_raises "eps >= 1 rejected"
+    (Invalid_argument "Lower.approx: need 0 < eps < 1") (fun () ->
+      ignore (Lower.approx ~n:4 ~eps:1.5))
+
+let test_thm21 () =
+  Alcotest.(check int) "unsolvable case = Cor 33 shape" 4
+    (Lower.thm21_unsolvable ~n:10 ~f:4 ~x:1);
+  Alcotest.(check bool) "step-complexity case bounded by n/f+1" true
+    (Lower.thm21_step_complexity ~n:12 ~f:2 ~step_lower_bound:1e30 <= 7)
+
+let test_upper_bounds () =
+  Alcotest.(check int) "BRS n=8 k=3 x=2" 7 (Upper.kset ~n:8 ~k:3 ~x:2);
+  Alcotest.(check int) "Schenk eps=0.25" 2 (Upper.approx_schenk ~eps:0.25);
+  Alcotest.(check int) "Schenk eps=0.1" 4 (Upper.approx_schenk ~eps:0.1);
+  Alcotest.(check int) "committee" 9 (Upper.kset_committee ~n:9)
+
+let test_tables () =
+  let rows = Tables.kset_rows ~ns:[ 8 ] ~ks:[ 1; 2 ] ~xs:[ 1; 2 ] in
+  (* valid combos: (8,1,1), (8,2,1), (8,2,2) *)
+  Alcotest.(check int) "row count" 3 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "consensus row tight" true r.Tables.tight;
+  let arows = Tables.approx_rows ~ns:[ 4 ] ~epss:[ 0.1; 0.01 ] in
+  Alcotest.(check int) "approx rows" 2 (List.length arows);
+  (* printers do not raise *)
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Tables.print_kset fmt rows;
+  Tables.print_approx fmt arows;
+  Tables.print_headline fmt ~ns:[ 4; 8 ];
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "non-empty output" true (Buffer.length buf > 100)
+
+let prop_cor33_formula =
+  QCheck.Test.make ~name:"Cor 33 closed form" ~count:300
+    QCheck.(triple (int_range 2 200) (int_range 1 50) (int_range 1 50))
+    (fun (n, k, x) ->
+      QCheck.assume (1 <= x && x <= k && k < n);
+      Lower.kset ~n ~k ~x = ((n - x) / (k + 1 - x)) + 1)
+
+let prop_consensus_tight =
+  QCheck.Test.make ~name:"consensus tight for all n" ~count:100
+    QCheck.(int_range 2 10_000)
+    (fun n -> Lower.consensus ~n = n && Upper.consensus ~n = n)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "lower",
+        [
+          Alcotest.test_case "Corollary 33" `Quick test_cor33;
+          Alcotest.test_case "consensus tight" `Quick test_consensus_tight;
+          Alcotest.test_case "(n-1)-set tight" `Quick test_nminus1_tight;
+          Alcotest.test_case "lower <= upper" `Quick test_lower_le_upper;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+          Alcotest.test_case "Corollary 34" `Quick test_approx_bound;
+          Alcotest.test_case "Theorem 21 forms" `Quick test_thm21;
+        ] );
+      ("upper", [ Alcotest.test_case "known upper bounds" `Quick test_upper_bounds ]);
+      ("tables", [ Alcotest.test_case "rows and printers" `Quick test_tables ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cor33_formula; prop_consensus_tight ] );
+    ]

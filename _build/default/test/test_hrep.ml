@@ -1,0 +1,188 @@
+open Rsim_value
+open Rsim_augmented
+
+let ts a = Vts.of_array a
+
+let test_vts_order () =
+  Alcotest.(check bool) "lex <" true (Vts.compare (ts [| 0; 1 |]) (ts [| 1; 0 |]) < 0);
+  Alcotest.(check bool) "lex >" true (Vts.compare (ts [| 1; 0 |]) (ts [| 0; 5 |]) > 0);
+  Alcotest.(check bool) "eq" true (Vts.equal (ts [| 2; 3 |]) (ts [| 2; 3 |]));
+  Alcotest.(check bool) "geq refl" true (Vts.geq (ts [| 2; 3 |]) (ts [| 2; 3 |]))
+
+let test_vts_make () =
+  let t = Vts.make ~counts:[| 3; 1; 2 |] ~me:1 in
+  Alcotest.(check (array int)) "increments own entry" [| 3; 2; 2 |] (Vts.to_array t)
+
+let triple comp value tsv = { Hrep.comp; value = Value.Int value; ts = ts tsv }
+
+let test_count_bu () =
+  let c =
+    Hrep.append_triples Hrep.empty_component
+      [ triple 0 1 [| 1; 0 |]; triple 1 2 [| 1; 0 |] ]
+  in
+  Alcotest.(check int) "one BU, two triples" 1 (Hrep.count_bu c);
+  let c = Hrep.append_triples c [ triple 0 3 [| 2; 0 |] ] in
+  Alcotest.(check int) "two BUs" 2 (Hrep.count_bu c);
+  Alcotest.(check int) "empty" 0 (Hrep.count_bu Hrep.empty_component)
+
+let test_prefix () =
+  let h = Hrep.create ~f:2 in
+  let h1 = Array.copy h in
+  h1.(0) <- Hrep.append_triples h.(0) [ triple 0 1 [| 1; 0 |] ];
+  let h2 = Array.copy h1 in
+  h2.(1) <- Hrep.append_triples h1.(1) [ triple 1 2 [| 1; 1 |] ];
+  Alcotest.(check bool) "h prefix h1" true (Hrep.is_prefix h h1);
+  Alcotest.(check bool) "h1 prefix h2" true (Hrep.is_prefix h1 h2);
+  Alcotest.(check bool) "h prefix h2 (transitive)" true (Hrep.is_prefix h h2);
+  Alcotest.(check bool) "h2 not prefix h1" false (Hrep.is_prefix h2 h1);
+  Alcotest.(check bool) "proper" true (Hrep.is_proper_prefix h h1);
+  Alcotest.(check bool) "not proper of self" false (Hrep.is_proper_prefix h1 h1);
+  Alcotest.(check bool) "equal_triples of self" true (Hrep.equal_triples h1 h1)
+
+let test_lrecords_ignored_by_equality () =
+  let h = Hrep.create ~f:2 in
+  let h' = Array.copy h in
+  h'.(0) <-
+    Hrep.append_lrecords h.(0) [ { Hrep.dest = 1; index = 0; payload = h } ];
+  Alcotest.(check bool) "lrecords invisible to equal_triples" true
+    (Hrep.equal_triples h h');
+  Alcotest.(check bool) "lrecords invisible to prefix" true (Hrep.is_prefix h' h)
+
+let test_get_view () =
+  let h = Hrep.create ~f:2 in
+  h.(0) <- Hrep.append_triples h.(0) [ triple 0 10 [| 1; 0 |] ];
+  h.(1) <-
+    Hrep.append_triples h.(1)
+      [ triple 0 20 [| 1; 1 |]; triple 1 30 [| 1; 1 |] ];
+  let view = Hrep.get_view ~m:3 h in
+  Alcotest.(check bool) "comp 0 = larger ts wins" true
+    (Value.equal view.(0) (Value.Int 20));
+  Alcotest.(check bool) "comp 1" true (Value.equal view.(1) (Value.Int 30));
+  Alcotest.(check bool) "comp 2 untouched" true (Value.is_bot view.(2))
+
+let test_new_timestamp_dominates () =
+  (* Corollary 8: a timestamp generated from h is larger than any
+     timestamp contained in h. *)
+  let h = Hrep.create ~f:3 in
+  h.(0) <- Hrep.append_triples h.(0) [ triple 0 1 [| 1; 0; 0 |] ];
+  h.(1) <- Hrep.append_triples h.(1) [ triple 1 2 [| 1; 1; 0 |] ];
+  List.iter
+    (fun me ->
+      let t = Hrep.new_timestamp h ~me in
+      List.iter
+        (fun (_, tr) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fresh ts by %d dominates" me)
+            true
+            (Vts.compare t tr.Hrep.ts > 0))
+        (Hrep.all_triples h))
+    [ 0; 1; 2 ]
+
+let test_read_l () =
+  let h = Hrep.create ~f:2 in
+  let payload1 = Hrep.create ~f:2 in
+  let payload2 = Hrep.create ~f:2 in
+  payload2.(0) <- Hrep.append_triples payload2.(0) [ triple 0 1 [| 1; 0 |] ];
+  h.(0) <-
+    Hrep.append_lrecords h.(0)
+      [ { Hrep.dest = 1; index = 0; payload = payload1 } ];
+  h.(0) <-
+    Hrep.append_lrecords h.(0)
+      [ { Hrep.dest = 1; index = 0; payload = payload2 } ];
+  (match Hrep.read_l h ~writer:0 ~reader:1 ~index:0 with
+  | Some p ->
+    Alcotest.(check bool) "last write wins" true (Hrep.equal_triples p payload2)
+  | None -> Alcotest.fail "expected a record");
+  Alcotest.(check bool) "missing index is bot" true
+    (Hrep.read_l h ~writer:0 ~reader:1 ~index:5 = None);
+  Alcotest.(check bool) "wrong reader is bot" true
+    (Hrep.read_l h ~writer:0 ~reader:0 ~index:0 = None)
+
+let test_contains_ts () =
+  let h = Hrep.create ~f:2 in
+  h.(0) <- Hrep.append_triples h.(0) [ triple 0 1 [| 1; 0 |] ];
+  Alcotest.(check bool) "contains" true (Hrep.contains_ts h (ts [| 1; 0 |]));
+  Alcotest.(check bool) "not contains" false (Hrep.contains_ts h (ts [| 2; 0 |]))
+
+(* qcheck: prefix relation is a partial order on randomly grown H states. *)
+let grow_sequence_gen =
+  QCheck.make
+    ~print:(fun ops -> String.concat ";" (List.map string_of_int ops))
+    QCheck.Gen.(list_size (int_bound 8) (int_bound 1))
+
+let states_of_growth ops =
+  (* Grow a 2-process H; record every intermediate state. *)
+  let h = ref (Hrep.create ~f:2) in
+  let k = ref 0 in
+  let states = ref [ Array.copy !h ] in
+  List.iter
+    (fun writer ->
+      incr k;
+      let h' = Array.copy !h in
+      h'.(writer) <-
+        Hrep.append_triples h'.(writer)
+          [ { Hrep.comp = 0; value = Value.Int !k;
+              ts = ts (if writer = 0 then [| !k; 0 |] else [| 0; !k |]) } ];
+      h := h';
+      states := Array.copy h' :: !states)
+    ops;
+  List.rev !states
+
+let prop_prefix_chain =
+  QCheck.Test.make ~name:"growth states form a prefix chain" ~count:100
+    grow_sequence_gen (fun ops ->
+      let states = states_of_growth ops in
+      let rec chain = function
+        | a :: (b :: _ as rest) -> Hrep.is_prefix a b && chain rest
+        | _ -> true
+      in
+      chain states)
+
+let prop_prefix_antisym =
+  QCheck.Test.make ~name:"mutual prefix implies triple-equality" ~count:100
+    grow_sequence_gen (fun ops ->
+      let states = states_of_growth ops in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              if Hrep.is_prefix a b && Hrep.is_prefix b a then
+                Hrep.equal_triples a b
+              else true)
+            states)
+        states)
+
+let prop_counts_monotone =
+  QCheck.Test.make ~name:"#h_j monotone along growth" ~count:100 grow_sequence_gen
+    (fun ops ->
+      let states = states_of_growth ops in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+          let ca = Hrep.counts a and cb = Hrep.counts b in
+          ca.(0) <= cb.(0) && ca.(1) <= cb.(1) && chain rest
+        | _ -> true
+      in
+      chain states)
+
+let () =
+  Alcotest.run "hrep"
+    [
+      ( "vts",
+        [
+          Alcotest.test_case "lexicographic order" `Quick test_vts_order;
+          Alcotest.test_case "new-timestamp" `Quick test_vts_make;
+        ] );
+      ( "hrep",
+        [
+          Alcotest.test_case "count_bu" `Quick test_count_bu;
+          Alcotest.test_case "prefix" `Quick test_prefix;
+          Alcotest.test_case "lrecords ignored" `Quick test_lrecords_ignored_by_equality;
+          Alcotest.test_case "get_view" `Quick test_get_view;
+          Alcotest.test_case "corollary 8" `Quick test_new_timestamp_dominates;
+          Alcotest.test_case "read_l" `Quick test_read_l;
+          Alcotest.test_case "contains_ts" `Quick test_contains_ts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_prefix_chain; prop_prefix_antisym; prop_counts_monotone ] );
+    ]

@@ -1,0 +1,200 @@
+open Rsim_value
+open Rsim_shmem
+
+(* Sequential spec of a single register. *)
+type reg_op = R | W of Value.t
+
+let reg_spec : (Value.t, reg_op) Linearize.spec =
+  {
+    init = Value.Bot;
+    apply =
+      (fun st op ->
+        match op with R -> (st, st) | W v -> (v, Value.Bot));
+  }
+
+let e = Linearize.entry
+
+let test_sequential_ok () =
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:1 ();
+      e ~proc:0 ~op:R ~inv:2 ~ret:3 ~res:(Value.Int 1) ();
+    ]
+  in
+  Alcotest.(check bool) "sequential read-your-write" true (Linearize.check reg_spec h)
+
+let test_sequential_bad () =
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:1 ();
+      e ~proc:0 ~op:R ~inv:2 ~ret:3 ~res:(Value.Int 2) ();
+    ]
+  in
+  Alcotest.(check bool) "wrong read rejected" false (Linearize.check reg_spec h)
+
+let test_concurrent_flexible () =
+  (* Write concurrent with a read: the read may see old or new value. *)
+  let old_read =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:10 ();
+      e ~proc:1 ~op:R ~inv:1 ~ret:2 ~res:Value.Bot ();
+    ]
+  in
+  let new_read =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:10 ();
+      e ~proc:1 ~op:R ~inv:1 ~ret:2 ~res:(Value.Int 1) ();
+    ]
+  in
+  Alcotest.(check bool) "concurrent read old" true (Linearize.check reg_spec old_read);
+  Alcotest.(check bool) "concurrent read new" true (Linearize.check reg_spec new_read)
+
+let test_realtime_order_respected () =
+  (* Read completes before the write starts: must return Bot. *)
+  let h =
+    [
+      e ~proc:1 ~op:R ~inv:0 ~ret:1 ~res:(Value.Int 1) ();
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:2 ~ret:3 ();
+    ]
+  in
+  Alcotest.(check bool) "future write not visible" false (Linearize.check reg_spec h)
+
+let test_new_old_inversion () =
+  (* The classic non-linearizable history: two sequential reads see
+     new-then-old. *)
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:20 ();
+      e ~proc:1 ~op:R ~inv:1 ~ret:2 ~res:(Value.Int 1) ();
+      e ~proc:1 ~op:R ~inv:3 ~ret:4 ~res:Value.Bot ();
+    ]
+  in
+  Alcotest.(check bool) "new/old inversion rejected" false (Linearize.check reg_spec h)
+
+let test_pending_can_take_effect () =
+  (* A pending write may be linearized to justify a read. *)
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 7)) ~inv:0 ();
+      e ~proc:1 ~op:R ~inv:1 ~ret:2 ~res:(Value.Int 7) ();
+    ]
+  in
+  Alcotest.(check bool) "pending write visible" true (Linearize.check reg_spec h)
+
+let test_pending_can_be_dropped () =
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 7)) ~inv:0 ();
+      e ~proc:1 ~op:R ~inv:1 ~ret:2 ~res:Value.Bot ();
+    ]
+  in
+  Alcotest.(check bool) "pending write droppable" true (Linearize.check reg_spec h)
+
+let test_linearization_witness () =
+  let h =
+    [
+      e ~proc:0 ~op:(W (Value.Int 1)) ~inv:0 ~ret:1 ();
+      e ~proc:1 ~op:R ~inv:2 ~ret:3 ~res:(Value.Int 1) ();
+    ]
+  in
+  match Linearize.linearization reg_spec h with
+  | Some order ->
+    Alcotest.(check int) "both ops in witness" 2 (List.length order);
+    (match order with
+    | first :: _ ->
+      Alcotest.(check int) "write first" 0 first.Linearize.proc
+    | [] -> Alcotest.fail "empty witness")
+  | None -> Alcotest.fail "expected linearizable"
+
+let test_entry_validation () =
+  Alcotest.check_raises "ret <= inv rejected"
+    (Invalid_argument "Linearize.entry: ret must be > inv") (fun () ->
+      ignore (e ~proc:0 ~op:R ~inv:5 ~ret:5 ()))
+
+(* Snapshot spec: m-component object with update/scan, for cross-checking
+   richer histories. *)
+type snap_op = Upd of int * Value.t | Sc
+
+let snap_spec m : (Value.t array, snap_op) Linearize.spec =
+  {
+    init = Array.make m Value.Bot;
+    apply =
+      (fun st op ->
+        match op with
+        | Upd (j, v) ->
+          let st' = Array.copy st in
+          st'.(j) <- v;
+          (st', Value.Bot)
+        | Sc -> (st, Value.List (Array.to_list st)));
+  }
+
+let test_snapshot_history () =
+  let view l = Value.List l in
+  let h =
+    [
+      e ~proc:0 ~op:(Upd (0, Value.Int 1)) ~inv:0 ~ret:1 ();
+      e ~proc:1 ~op:(Upd (1, Value.Int 2)) ~inv:2 ~ret:3 ();
+      e ~proc:2 ~op:Sc ~inv:4 ~ret:5 ~res:(view [ Value.Int 1; Value.Int 2 ]) ();
+    ]
+  in
+  Alcotest.(check bool) "snapshot history ok" true (Linearize.check (snap_spec 2) h);
+  let bad =
+    [
+      e ~proc:0 ~op:(Upd (0, Value.Int 1)) ~inv:0 ~ret:1 ();
+      e ~proc:2 ~op:Sc ~inv:2 ~ret:3 ~res:(view [ Value.Bot; Value.Bot ]) ();
+    ]
+  in
+  Alcotest.(check bool) "stale snapshot rejected" false
+    (Linearize.check (snap_spec 2) bad)
+
+(* qcheck: histories generated from an actual sequential execution are
+   always linearizable. *)
+let prop_generated_histories_linearizable =
+  QCheck.Test.make ~name:"sequentially-generated histories linearizable" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let open Rsim_value in
+      let g = ref (Prng.make seed) in
+      let draw n =
+        let k, g' = Prng.int !g n in
+        g := g';
+        k
+      in
+      (* Generate a random sequential execution on one register and emit a
+         history with each op occupying its own time slot. *)
+      let st = ref Value.Bot in
+      let t = ref 0 in
+      let entries = ref [] in
+      for _ = 1 to 8 do
+        let inv = !t in
+        let ret = !t + 1 in
+        t := !t + 2;
+        if draw 2 = 0 then begin
+          let v = Value.Int (draw 5) in
+          st := v;
+          entries := e ~proc:(draw 3) ~op:(W v) ~inv ~ret () :: !entries
+        end
+        else entries := e ~proc:(draw 3) ~op:R ~inv ~ret ~res:!st () :: !entries
+      done;
+      Linearize.check reg_spec (List.rev !entries))
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "sequential ok" `Quick test_sequential_ok;
+          Alcotest.test_case "sequential bad" `Quick test_sequential_bad;
+          Alcotest.test_case "concurrent flexible" `Quick test_concurrent_flexible;
+          Alcotest.test_case "real-time order" `Quick test_realtime_order_respected;
+          Alcotest.test_case "new/old inversion" `Quick test_new_old_inversion;
+          Alcotest.test_case "pending takes effect" `Quick test_pending_can_take_effect;
+          Alcotest.test_case "pending dropped" `Quick test_pending_can_be_dropped;
+          Alcotest.test_case "witness" `Quick test_linearization_witness;
+          Alcotest.test_case "entry validation" `Quick test_entry_validation;
+        ] );
+      ("snapshot", [ Alcotest.test_case "histories" `Quick test_snapshot_history ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_generated_histories_linearizable ]
+      );
+    ]

@@ -1,0 +1,214 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_regsnap
+
+let no_failures (result : Regsnap.F.result) =
+  Array.iter
+    (function
+      | Rsim_runtime.Fiber.Failed e -> raise e
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+    result.statuses
+
+(* Run bodies that receive the shared snapshot. *)
+let with_snap ~f ~sched make_bodies =
+  let t = Regsnap.create ~f in
+  let result =
+    Regsnap.F.run ~max_ops:100_000 ~sched ~apply:(Regsnap.apply t) (make_bodies t)
+  in
+  no_failures result;
+  (t, result)
+
+let test_solo () =
+  let seen = ref [||] in
+  let _ =
+    with_snap ~f:2 ~sched:Schedule.round_robin (fun t ->
+        [
+          (fun _ ->
+            Regsnap.update t ~me:0 (Value.Int 5);
+            seen := Regsnap.scan t ~me:0);
+          (fun _ -> ());
+        ])
+  in
+  Alcotest.(check bool) "own component visible" true
+    (Value.equal !seen.(0) (Value.Int 5));
+  Alcotest.(check bool) "other still bot" true (Value.is_bot !seen.(1))
+
+let test_cross_visibility () =
+  let seen = ref [||] in
+  let _t, _ =
+    with_snap ~f:2 ~sched:(Schedule.script (List.init 20 (fun i -> i mod 2)))
+      (fun t ->
+        [
+          (fun _ -> Regsnap.update t ~me:0 (Value.Int 1));
+          (fun _ ->
+            Regsnap.update t ~me:1 (Value.Int 2);
+            seen := Regsnap.scan t ~me:1);
+        ])
+  in
+  Alcotest.(check bool) "sees own" true (Value.equal !seen.(1) (Value.Int 2))
+
+let test_wait_free_scan_bound () =
+  (* Even with all processes updating continuously, every scan finishes
+     within (f+2)·f register steps. *)
+  List.iter
+    (fun seed ->
+      let f = 3 in
+      let _t, result =
+        with_snap ~f ~sched:(Schedule.random ~seed) (fun t ->
+            [
+              (fun _ -> for i = 1 to 5 do Regsnap.update t ~me:0 (Value.Int i) done);
+              (fun _ -> for i = 1 to 5 do Regsnap.update t ~me:1 (Value.Int i) done);
+              (fun _ ->
+                for _ = 1 to 5 do
+                  ignore (Regsnap.scan t ~me:2)
+                done);
+            ])
+      in
+      ignore result)
+    (List.init 20 Fun.id);
+  (* per-scan step bound asserted via history intervals *)
+  let f = 3 in
+  let t, _ =
+    with_snap ~f ~sched:(Schedule.random ~seed:7) (fun t ->
+        [
+          (fun _ -> for i = 1 to 8 do Regsnap.update t ~me:0 (Value.Int i) done);
+          (fun _ -> for i = 1 to 8 do Regsnap.update t ~me:1 (Value.Int i) done);
+          (fun _ -> for _ = 1 to 8 do ignore (Regsnap.scan t ~me:2) done);
+        ])
+  in
+  List.iter
+    (function
+      | Regsnap.Scan_op { n_ops; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "scan took %d own steps within bound %d" n_ops
+             (Regsnap.scan_step_bound ~f))
+          true
+          (n_ops <= Regsnap.scan_step_bound ~f)
+      | Regsnap.Update_op { n_ops; _ } ->
+        Alcotest.(check bool) "update within bound" true
+          (n_ops <= Regsnap.scan_step_bound ~f + 2))
+    (Regsnap.history t)
+
+let test_borrowed_scans_happen () =
+  (* Under interleaved updates, some scan should borrow an embedded
+     view. *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 100 do
+    let t, _ =
+      with_snap ~f:3 ~sched:(Schedule.random ~seed:!seed) (fun t ->
+          [
+            (fun _ -> for i = 1 to 6 do Regsnap.update t ~me:0 (Value.Int i) done);
+            (fun _ -> for i = 1 to 6 do Regsnap.update t ~me:1 (Value.Int (10 + i)) done);
+            (fun _ -> for _ = 1 to 6 do ignore (Regsnap.scan t ~me:2) done);
+          ])
+    in
+    if
+      List.exists
+        (function
+          | Regsnap.Scan_op { borrowed = true; _ } -> true
+          | _ -> false)
+        (Regsnap.history t)
+    then found := true;
+    incr seed
+  done;
+  Alcotest.(check bool) "borrowed scan observed within 100 schedules" true !found
+
+let test_single_writer_enforced () =
+  let t = Regsnap.create ~f:2 in
+  Alcotest.(check bool) "wrong-pid write rejected" true
+    (try
+       ignore (Regsnap.apply t ~pid:1 (Regsnap.Ops.Write (0, Value.Bot)));
+       false
+     with Failure _ -> true)
+
+(* ---- linearizability against the sequential snapshot spec ---- *)
+
+type snap_op = Up of int * Value.t | Sc
+
+let snap_spec f : (Value.t array, snap_op) Linearize.spec =
+  {
+    init = Array.make f Value.Bot;
+    apply =
+      (fun st op ->
+        match op with
+        | Up (i, v) ->
+          let st' = Array.copy st in
+          st'.(i) <- v;
+          (st', Value.Bot)
+        | Sc -> (st, Value.List (Array.to_list st)));
+  }
+
+let entries_of_history hops =
+  List.map
+    (fun hop ->
+      match hop with
+      | Regsnap.Update_op { proc; value; inv; ret; _ } ->
+        Linearize.entry ~proc ~op:(Up (proc, value)) ~inv ~ret ()
+      | Regsnap.Scan_op { proc; view; inv; ret; _ } ->
+        Linearize.entry ~proc ~op:Sc ~inv ~ret
+          ~res:(Value.List (Array.to_list view))
+          ())
+    hops
+
+let random_history ~f ~seed ~ops_per =
+  let t, _ =
+    with_snap ~f ~sched:(Schedule.random ~seed) (fun t ->
+        List.init f (fun me ->
+            fun _ ->
+              let g = ref (Prng.make (seed + (77 * me))) in
+              let draw n =
+                let k, g' = Prng.int !g n in
+                g := g';
+                k
+              in
+              for _ = 1 to ops_per do
+                if draw 2 = 0 then Regsnap.update t ~me (Value.Int (draw 10))
+                else ignore (Regsnap.scan t ~me)
+              done))
+  in
+  Regsnap.history t
+
+let test_linearizable_fixed () =
+  List.iter
+    (fun seed ->
+      let hist = random_history ~f:2 ~seed ~ops_per:3 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d linearizable" seed)
+        true
+        (Linearize.check (snap_spec 2) (entries_of_history hist)))
+    (List.init 30 Fun.id)
+
+let prop_linearizable =
+  QCheck.Test.make ~name:"regsnap histories linearizable" ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 2 3))
+    (fun (seed, f) ->
+      let hist = random_history ~f ~seed ~ops_per:3 in
+      Linearize.check (snap_spec f) (entries_of_history hist))
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"regsnap runs deterministic" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let h1 = random_history ~f:3 ~seed ~ops_per:3 in
+      let h2 = random_history ~f:3 ~seed ~ops_per:3 in
+      h1 = h2)
+
+let () =
+  Alcotest.run "regsnap"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "solo" `Quick test_solo;
+          Alcotest.test_case "cross visibility" `Quick test_cross_visibility;
+          Alcotest.test_case "wait-free scan bound" `Quick test_wait_free_scan_bound;
+          Alcotest.test_case "borrowed scans happen" `Quick test_borrowed_scans_happen;
+          Alcotest.test_case "single-writer enforced" `Quick
+            test_single_writer_enforced;
+        ] );
+      ( "linearizability",
+        [ Alcotest.test_case "30 fixed seeds" `Quick test_linearizable_fixed ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_linearizable; prop_deterministic ]
+      );
+    ]

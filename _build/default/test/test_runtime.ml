@@ -1,0 +1,149 @@
+open Rsim_shmem
+open Rsim_runtime
+
+module Counter_ops = struct
+  type op = Incr | Get
+  type res = Ack | Val of int
+end
+
+module F = Fiber.Make (Counter_ops)
+
+let make_counter () =
+  let state = ref 0 in
+  let apply ~pid:_ (op : Counter_ops.op) : Counter_ops.res =
+    match op with
+    | Counter_ops.Incr ->
+      incr state;
+      Counter_ops.Ack
+    | Counter_ops.Get -> Counter_ops.Val !state
+  in
+  (state, apply)
+
+let get () = match F.op Counter_ops.Get with Counter_ops.Val n -> n | _ -> assert false
+let increment () = ignore (F.op Counter_ops.Incr)
+
+let test_single_fiber () =
+  let state, apply = make_counter () in
+  let result =
+    F.run ~sched:Schedule.round_robin ~apply
+      [ (fun _pid -> increment (); increment (); increment ()) ]
+  in
+  Alcotest.(check int) "three increments" 3 !state;
+  Alcotest.(check int) "three ops" 3 result.F.total_ops;
+  Alcotest.(check bool) "done" true (result.F.statuses.(0) = Fiber.Done)
+
+let test_round_robin_interleaving () =
+  let _, apply = make_counter () in
+  let result =
+    F.run ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment (); increment ());
+        (fun _ -> increment (); increment ()) ]
+  in
+  let pids = List.map (fun (e : F.trace_entry) -> e.pid) result.F.trace in
+  Alcotest.(check (list int)) "alternating" [ 0; 1; 0; 1 ] pids
+
+let test_local_values_observed () =
+  (* Fiber 1 reads the counter after fiber 0 increments twice, under a
+     scripted schedule. *)
+  let _, apply = make_counter () in
+  let seen = ref (-1) in
+  let _result =
+    F.run ~sched:(Schedule.script [ 0; 0; 1 ]) ~apply
+      [ (fun _ -> increment (); increment ()); (fun _ -> seen := get ()) ]
+  in
+  Alcotest.(check int) "fiber 1 saw both increments" 2 !seen
+
+let test_budget () =
+  let _, apply = make_counter () in
+  let result =
+    F.run ~max_ops:5 ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> for _ = 1 to 100 do increment () done) ]
+  in
+  Alcotest.(check int) "budget respected" 5 result.F.total_ops;
+  Alcotest.(check bool) "still pending" true (result.F.statuses.(0) = Fiber.Pending)
+
+let test_failure_captured () =
+  let _, apply = make_counter () in
+  let result =
+    F.run ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment (); failwith "boom"); (fun _ -> increment ()) ]
+  in
+  (match result.F.statuses.(0) with
+  | Fiber.Failed (Failure msg) -> Alcotest.(check string) "exn kept" "boom" msg
+  | _ -> Alcotest.fail "expected Failed");
+  Alcotest.(check bool) "other fiber unaffected" true
+    (result.F.statuses.(1) = Fiber.Done)
+
+let test_crash_via_schedule () =
+  let state, apply = make_counter () in
+  let sched = Schedule.with_crashes [ (0, 2) ] Schedule.round_robin in
+  let result =
+    F.run ~sched ~apply
+      [ (fun _ -> for _ = 1 to 10 do increment () done);
+        (fun _ -> increment ()) ]
+  in
+  Alcotest.(check int) "crashed fiber took 2 steps" 2 result.F.ops_per_fiber.(0);
+  Alcotest.(check int) "total" 3 !state;
+  Alcotest.(check bool) "crashed fiber left pending" true
+    (result.F.statuses.(0) = Fiber.Pending)
+
+let test_determinism () =
+  let run seed =
+    let _, apply = make_counter () in
+    let result =
+      F.run
+        ~sched:(Schedule.random ~seed)
+        ~apply
+        [ (fun _ -> for _ = 1 to 5 do increment () done);
+          (fun _ -> for _ = 1 to 5 do increment () done);
+          (fun _ -> for _ = 1 to 5 do increment () done) ]
+    in
+    List.map (fun (e : F.trace_entry) -> e.pid) result.F.trace
+  in
+  Alcotest.(check (list int)) "same seed, same trace" (run 11) (run 11)
+
+let test_ops_counted_per_fiber () =
+  let _, apply = make_counter () in
+  let result =
+    F.run ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment ()); (fun _ -> increment (); increment ()) ]
+  in
+  Alcotest.(check int) "fiber 0 ops" 1 result.F.ops_per_fiber.(0);
+  Alcotest.(check int) "fiber 1 ops" 2 result.F.ops_per_fiber.(1)
+
+let test_no_op_fiber () =
+  let _, apply = make_counter () in
+  let result = F.run ~sched:Schedule.round_robin ~apply [ (fun _ -> ()) ] in
+  Alcotest.(check int) "zero ops" 0 result.F.total_ops;
+  Alcotest.(check bool) "done" true (result.F.statuses.(0) = Fiber.Done)
+
+let prop_total_equals_sum =
+  QCheck.Test.make ~name:"total ops = sum of per-fiber ops" ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 1 4))
+    (fun (seed, n) ->
+      let _, apply = make_counter () in
+      let result =
+        F.run
+          ~sched:(Schedule.random ~seed)
+          ~apply
+          (List.init n (fun i -> fun _ -> for _ = 0 to i do increment () done))
+      in
+      result.F.total_ops = Array.fold_left ( + ) 0 result.F.ops_per_fiber)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "fiber",
+        [
+          Alcotest.test_case "single fiber" `Quick test_single_fiber;
+          Alcotest.test_case "round robin" `Quick test_round_robin_interleaving;
+          Alcotest.test_case "scripted visibility" `Quick test_local_values_observed;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "failure captured" `Quick test_failure_captured;
+          Alcotest.test_case "crash via schedule" `Quick test_crash_via_schedule;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "per-fiber counts" `Quick test_ops_counted_per_fiber;
+          Alcotest.test_case "no-op fiber" `Quick test_no_op_fiber;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_total_equals_sum ]);
+    ]

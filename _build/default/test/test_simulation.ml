@@ -1,0 +1,511 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_tasks
+open Rsim_protocols
+open Rsim_simulation
+
+let i n = Value.Int n
+
+let racing_spec ~n ~m ~f ~d inputs =
+  {
+    Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+    n;
+    m;
+    f;
+    d;
+    inputs;
+  }
+
+(* ---- partition ---- *)
+
+let test_partition () =
+  let p = Harness.partition ~m:3 ~f:3 ~d:1 in
+  Alcotest.(check (array int)) "covering 0" [| 0; 1; 2 |] p.(0);
+  Alcotest.(check (array int)) "covering 1" [| 3; 4; 5 |] p.(1);
+  Alcotest.(check (array int)) "direct" [| 6 |] p.(2);
+  (* disjoint *)
+  let all = Array.to_list p |> List.concat_map Array.to_list in
+  Alcotest.(check int) "no overlaps" (List.length all)
+    (List.length (List.sort_uniq Int.compare all))
+
+let test_spec_validation () =
+  Alcotest.(check bool) "too few simulated processes rejected" true
+    (try
+       ignore
+         (Harness.run ~sched:Schedule.round_robin
+            (racing_spec ~n:3 ~m:3 ~f:2 ~d:0 [ i 1; i 2 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong input count rejected" true
+    (try
+       ignore
+         (Harness.run ~sched:Schedule.round_robin
+            (racing_spec ~n:9 ~m:3 ~f:2 ~d:0 [ i 1 ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- complexity formulas ---- *)
+
+let test_complexity_a () =
+  Alcotest.(check int) "a(1) = 0" 0 (Complexity.a ~m:4 1);
+  (* a(2) = (C(m,1)+1)*0 + C(m,1) = m *)
+  Alcotest.(check int) "a(2) = m" 4 (Complexity.a ~m:4 2);
+  (* m=4: a(3) = (C(4,2)+1)*4 + C(4,2) = 7*4+6 = 34 *)
+  Alcotest.(check int) "a(3) m=4" 34 (Complexity.a ~m:4 3);
+  (* a(4) = (C(4,3)+1)*34 + 4 = 174 *)
+  Alcotest.(check int) "a(4) m=4" 174 (Complexity.a ~m:4 4);
+  Alcotest.check_raises "r out of range"
+    (Invalid_argument "Complexity.a: need 1 <= r <= m") (fun () ->
+      ignore (Complexity.a ~m:3 4))
+
+let test_complexity_closed_form () =
+  (* a(r) <= 2^{m(r-1)} for small m, r *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun r ->
+          let v = Complexity.a ~m r in
+          let bound = 1 lsl (m * (r - 1)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "a(%d) <= 2^{%d} for m=%d" r (m * (r - 1)) m)
+            true (v <= bound))
+        (List.init m (fun r -> r + 1)))
+    [ 2; 3; 4; 5 ]
+
+let test_complexity_b () =
+  (* m=2: a(2)=2, a(1)=0: b(1)=2, b(i)=sum_prev + 2 *)
+  Alcotest.(check int) "b(1) m=2" 2 (Complexity.b ~m:2 1);
+  Alcotest.(check int) "b(2) m=2" 4 (Complexity.b ~m:2 2);
+  Alcotest.(check int) "b(3) m=2" 8 (Complexity.b ~m:2 3);
+  Alcotest.(check int) "b(4) m=2" 16 (Complexity.b ~m:2 4);
+  Alcotest.(check bool) "b monotone in i" true
+    (Complexity.b ~m:3 3 > Complexity.b ~m:3 2);
+  Alcotest.(check bool) "step bound positive" true
+    (Complexity.step_bound ~f:3 ~m:2 > 0)
+
+let test_complexity_b_closed_form_bound () =
+  (* From the recurrence: b(i) ≤ a(m)·(a(m−1)+2)^{i−1}. (The paper's
+     displayed closed form a(m)(a(m−1)+1)^{i−1} does not satisfy its own
+     recurrence — e.g. m=2 gives b = 2,4,8,… not constant 2 — so we
+     check the corrected envelope.) *)
+  List.iter
+    (fun m ->
+      let a_m = Complexity.a ~m m in
+      let base = (if m = 1 then 0 else Complexity.a ~m (m - 1)) + 2 in
+      let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+      List.iter
+        (fun i ->
+          let bound = a_m * pow base (i - 1) in
+          if not (Complexity.is_saturated (Complexity.b ~m i)) then
+            Alcotest.(check bool)
+              (Printf.sprintf "b(%d) <= a(m)(a(m-1)+2)^%d for m=%d" i (i - 1) m)
+              true
+              (Complexity.b ~m i <= bound))
+        [ 1; 2; 3; 4 ])
+    [ 2; 3; 4 ]
+
+let test_complexity_saturation () =
+  Alcotest.(check bool) "huge parameters saturate, not overflow" true
+    (Complexity.is_saturated (Complexity.b ~m:20 10));
+  Alcotest.(check bool) "2^{fm^2} saturates" true
+    (Complexity.is_saturated (Complexity.two_pow_fm2 ~f:4 ~m:5));
+  Alcotest.(check int) "2^{fm^2} small" 16 (Complexity.two_pow_fm2 ~f:4 ~m:1)
+
+(* ---- single covering simulator ---- *)
+
+let test_single_covering () =
+  let spec = racing_spec ~n:2 ~m:2 ~f:1 ~d:0 [ i 42 ] in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  Alcotest.(check bool) "all done" true r.Harness.all_done;
+  (match Harness.validate spec r ~task:Task.consensus with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  let rep = Analysis.check spec r in
+  if not rep.Analysis.ok then
+    Alcotest.failf "analysis: %a" Analysis.pp_report rep
+
+let test_final_block_path () =
+  (* With one covering simulator on racing m=2, Construct(m) completes
+     and the simulator takes the Algorithm-7 path: a final block β plus
+     a locally simulated terminating solo run ξ. *)
+  let spec = racing_spec ~n:2 ~m:2 ~f:1 ~d:0 [ i 7 ] in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  let finals =
+    List.filter
+      (function Journal.Jfinal _ -> true | _ -> false)
+      (Journal.events r.Harness.journals.(0))
+  in
+  Alcotest.(check int) "took the final-block path" 1 (List.length finals);
+  (match finals with
+  | [ Journal.Jfinal { beta; xi; output } ] ->
+    Alcotest.(check int) "beta covers m components" 2 (List.length beta);
+    Alcotest.(check bool) "xi nonempty" true (xi <> []);
+    Alcotest.(check bool) "output is the input" true (Value.equal output (i 7))
+  | _ -> Alcotest.fail "expected one Jfinal");
+  let rep = Analysis.check spec r in
+  if not rep.Analysis.ok then Alcotest.failf "analysis: %a" Analysis.pp_report rep;
+  Alcotest.(check bool) "final steps replayed" true
+    (rep.Analysis.stats.Analysis.n_final_steps > 0)
+
+(* ---- the reduction: wait-freedom + spec + replay under contention ---- *)
+
+let run_and_check_everything ?(require_valid = None) spec seed =
+  let r = Harness.run ~sched:(Schedule.random ~seed) spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "wait-free (seed %d)" seed)
+    true r.Harness.all_done;
+  let aug_rep = Rsim_augmented.Aug_spec.check r.Harness.aug r.Harness.trace in
+  if not aug_rep.Rsim_augmented.Aug_spec.ok then
+    Alcotest.failf "aug spec (seed %d): %a" seed Rsim_augmented.Aug_spec.pp_report
+      aug_rep;
+  let rep = Analysis.check spec r in
+  if not rep.Analysis.ok then
+    Alcotest.failf "analysis (seed %d): %a" seed Analysis.pp_report rep;
+  (match require_valid with
+  | Some task -> (
+    match Harness.validate spec r ~task with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "task (seed %d): %s" seed e)
+  | None -> ());
+  r
+
+let test_two_covering_simulators () =
+  List.iter
+    (fun seed ->
+      ignore
+        (run_and_check_everything
+           (racing_spec ~n:6 ~m:3 ~f:2 ~d:0 [ i 1; i 2 ])
+           seed))
+    (List.init 25 Fun.id)
+
+let test_covering_plus_direct () =
+  List.iter
+    (fun seed ->
+      ignore
+        (run_and_check_everything
+           (racing_spec ~n:5 ~m:2 ~f:3 ~d:1 [ i 1; i 2; i 3 ])
+           seed))
+    (List.init 25 Fun.id)
+
+let test_kset_regime () =
+  (* n=7, k=3, x=1: the upper-bound regime m = n-k+x = 5. Two simulators
+     (1 covering + 1 direct) must wait-free produce <= 2 <= k values. *)
+  let spec = racing_spec ~n:7 ~m:5 ~f:2 ~d:1 [ i 10; i 20 ] in
+  List.iter
+    (fun seed ->
+      ignore
+        (run_and_check_everything ~require_valid:(Some (Task.kset ~k:3)) spec
+           seed))
+    (List.init 15 Fun.id)
+
+let test_bu_counts_within_lemma30 () =
+  (* Covering simulators' Block-Update counts stay within b(i). *)
+  List.iter
+    (fun seed ->
+      let spec = racing_spec ~n:8 ~m:2 ~f:4 ~d:0 [ i 1; i 2; i 3; i 4 ] in
+      let r = run_and_check_everything spec seed in
+      Array.iteri
+        (fun idx count ->
+          let bound = Complexity.b ~m:2 (idx + 1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "q%d: %d BUs <= b(%d) = %d (seed %d)" idx count
+               (idx + 1) bound seed)
+            true (count <= bound))
+        r.Harness.bu_counts)
+    (List.init 20 Fun.id)
+
+let test_step_bound_lemma31 () =
+  List.iter
+    (fun seed ->
+      let spec = racing_spec ~n:6 ~m:2 ~f:3 ~d:0 [ i 1; i 2; i 3 ] in
+      let r = run_and_check_everything spec seed in
+      let bound = Complexity.step_bound ~f:3 ~m:2 in
+      Array.iter
+        (fun ops ->
+          Alcotest.(check bool)
+            (Printf.sprintf "ops %d <= bound %d" ops bound)
+            true (ops <= bound))
+        r.Harness.ops_per_sim)
+    (List.init 20 Fun.id)
+
+(* ---- the impossibility witness (E5b) ---- *)
+
+let test_witness_disagreement_exists () =
+  (* Racing "consensus" with m = 2 < n = 4 components, simulated by two
+     covering simulators: some schedule makes the simulators disagree.
+     This is the reduction's bite: were the protocol a correct
+     obstruction-free consensus in this space regime, the simulation
+     would wait-free solve 2-process consensus. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 200 do
+    let r = Harness.run ~sched:(Schedule.random ~seed:!seed) spec in
+    (match Harness.validate spec r ~task:Task.consensus with
+    | Error _ when r.Harness.all_done -> found := true
+    | _ -> ());
+    incr seed
+  done;
+  Alcotest.(check bool) "disagreement witnessed within 200 schedules" true !found
+
+let test_sufficient_space_no_witness () =
+  (* With a single simulator (so (f-d)m <= n even for m = n), the same
+     search finds no violation. *)
+  let spec = racing_spec ~n:3 ~m:3 ~f:1 ~d:0 [ i 1 ] in
+  List.iter
+    (fun seed ->
+      let r = Harness.run ~sched:(Schedule.random ~seed) spec in
+      match Harness.validate spec r ~task:Task.consensus with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "unexpected violation: %s" e)
+    (List.init 50 Fun.id)
+
+let test_all_direct_simulators () =
+  (* d = f: no covering simulators at all; the harness degenerates to f
+     direct step-by-step simulations over the augmented snapshot. *)
+  List.iter
+    (fun seed ->
+      let spec = racing_spec ~n:2 ~m:2 ~f:2 ~d:2 [ i 1; i 2 ] in
+      let r = Harness.run ~sched:(Schedule.random ~seed) spec in
+      Alcotest.(check bool) "all done" true r.Harness.all_done;
+      let rep = Analysis.check spec r in
+      if not rep.Analysis.ok then
+        Alcotest.failf "analysis (seed %d): %a" seed Analysis.pp_report rep;
+      Alcotest.(check int) "no revisions without covering simulators" 0
+        rep.Analysis.stats.Analysis.n_revisions)
+    (List.init 15 Fun.id)
+
+let test_trace_pp_renders () =
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r = Harness.run ~sched:(Schedule.random ~seed:5) spec in
+  let rendered = Format.asprintf "%a" (fun fmt () -> Trace_pp.pp_run fmt spec r) () in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length rendered
+      && (String.sub rendered i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "shows block updates" true (contains "M.BlockUpdate");
+  Alcotest.(check bool) "shows scans" true (contains "M.Scan");
+  Alcotest.(check bool) "shows a revision" true (contains "REVISES");
+  Alcotest.(check bool) "shows the outcome" true (contains "wait-free: true");
+  let htrace = Format.asprintf "%a" (fun fmt () -> Trace_pp.pp_htrace fmt r.Harness.trace) () in
+  Alcotest.(check bool) "H-trace shows scans" true
+    (let sub = "H.scan" in
+     let n = String.length sub in
+     let rec go i =
+       i + n <= String.length htrace && (String.sub htrace i n = sub || go (i + 1))
+     in
+     go 0)
+
+(* ---- deterministic covering adversaries ---- *)
+
+let test_phase_shifted_breaks_racing () =
+  let procs =
+    List.init 2 (fun pid -> (Racing.protocol ~m:2 ()) pid (i pid))
+  in
+  match
+    Covering_witness.phase_shifted ~procs ~m:2 ~task:Task.consensus ~max_turn:8
+  with
+  | Some w ->
+    Alcotest.(check int) "both decided" 2 (List.length w.Covering_witness.outputs);
+    Alcotest.(check bool) "two distinct outputs" true
+      (List.length
+         (Value.distinct (List.map snd w.Covering_witness.outputs))
+      > 1)
+  | None -> Alcotest.fail "expected a deterministic lockstep witness"
+
+let test_stale_writer_breaks_undersized () =
+  let procs =
+    List.init 2 (fun pid -> (Racing.protocol ~m:1 ()) pid (i pid))
+  in
+  match Covering_witness.stale_writer ~procs ~m:1 ~task:Task.consensus with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a stale-writer witness at m=1 < n=2"
+
+let test_adopt2_survives_covering_adversaries () =
+  let procs =
+    [
+      Adopt2.proc ~mine:0 ~theirs:1 ~name:"p0" ~input:(i 1) ();
+      Adopt2.proc ~mine:1 ~theirs:0 ~name:"p1" ~input:(i 2) ();
+    ]
+  in
+  Alcotest.(check bool) "phase-shifted finds nothing" true
+    (Covering_witness.phase_shifted ~procs ~m:2 ~task:Task.consensus ~max_turn:8
+    = None);
+  Alcotest.(check bool) "stale-writer finds nothing" true
+    (Covering_witness.stale_writer ~procs ~m:2 ~task:Task.consensus = None)
+
+(* ---- failure injection ---- *)
+
+let test_non_of_protocol_fails_loudly () =
+  (* A spinner is not obstruction-free: the covering simulator's local
+     simulation must hit its cap and fail (not loop forever). *)
+  let spec =
+    {
+      Harness.protocol =
+        (fun pid _ -> Pathological.spinner ~name:(Printf.sprintf "spin%d" pid));
+      n = 4;
+      m = 2;
+      f = 2;
+      d = 0;
+      inputs = [ i 1; i 2 ];
+    }
+  in
+  let r = Harness.run ~local_cap:500 ~max_ops:100_000 ~sched:Schedule.round_robin spec in
+  let failed =
+    Array.exists
+      (function Rsim_runtime.Fiber.Failed _ -> true | _ -> false)
+      r.Harness.statuses
+  in
+  Alcotest.(check bool) "a simulator failed on the cap" true
+    (failed || not r.Harness.all_done);
+  match Harness.validate spec r ~task:Task.consensus with
+  | Ok () -> Alcotest.fail "validation should not pass"
+  | Error _ -> ()
+
+let test_constant_protocol () =
+  (* Processes that output immediately: every simulator adopts the
+     output at its first scan. *)
+  let spec =
+    {
+      Harness.protocol = (fun _ input -> Pathological.constant ~name:"c" ~output:input);
+      n = 4;
+      m = 2;
+      f = 2;
+      d = 0;
+      inputs = [ i 5; i 6 ];
+    }
+  in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  Alcotest.(check bool) "all done" true r.Harness.all_done;
+  Alcotest.(check int) "both output" 2 (List.length r.Harness.outputs);
+  let rep = Analysis.check spec r in
+  if not rep.Analysis.ok then Alcotest.failf "analysis: %a" Analysis.pp_report rep
+
+(* ---- approximate agreement through the simulation ---- *)
+
+let test_approx_through_simulation () =
+  let eps = 0.25 in
+  let rounds = Approx_agreement.rounds_for ~eps in
+  let spec =
+    {
+      Harness.protocol =
+        (fun pid input -> (Approx_agreement.protocol ~rounds ()) pid input);
+      n = 3;
+      m = 3;
+      f = 1;
+      d = 0;
+      inputs = [ Value.Float 0.75 ];
+    }
+  in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  (match Harness.validate spec r ~task:(Task.approx ~eps) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "approx invalid: %s" e);
+  let rep = Analysis.check spec r in
+  if not rep.Analysis.ok then Alcotest.failf "analysis: %a" Analysis.pp_report rep
+
+(* ---- properties ---- *)
+
+let prop_simulation_sound =
+  QCheck.Test.make
+    ~name:"random shapes: wait-free, aug-spec-clean, Lemma-26-replayable"
+    ~count:60
+    QCheck.(
+      triple (int_bound 100_000) (int_range 1 3) (pair (int_range 1 3) (int_bound 1)))
+    (fun (seed, m, (cov, d)) ->
+      let f = cov + d in
+      let n = (cov * m) + d in
+      let inputs = List.init f (fun p -> i (p + 1)) in
+      let spec = racing_spec ~n ~m ~f ~d inputs in
+      let r = Harness.run ~max_ops:500_000 ~sched:(Schedule.random ~seed) spec in
+      if not r.Harness.all_done then
+        QCheck.Test.fail_reportf "not wait-free: seed=%d m=%d f=%d d=%d" seed m f d
+      else begin
+        let aug_rep = Rsim_augmented.Aug_spec.check r.Harness.aug r.Harness.trace in
+        let rep = Analysis.check spec r in
+        if not aug_rep.Rsim_augmented.Aug_spec.ok then
+          QCheck.Test.fail_reportf "aug spec: %a" Rsim_augmented.Aug_spec.pp_report
+            aug_rep
+        else if not rep.Analysis.ok then
+          QCheck.Test.fail_reportf "analysis: %a" Analysis.pp_report rep
+        else true
+      end)
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~name:"simulation deterministic in the seed" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+      let go () =
+        let r = Harness.run ~sched:(Schedule.random ~seed) spec in
+        (r.Harness.outputs, r.Harness.total_ops)
+      in
+      go () = go ())
+
+let () =
+  Alcotest.run "simulation"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "a(r)" `Quick test_complexity_a;
+          Alcotest.test_case "a(r) closed form" `Quick test_complexity_closed_form;
+          Alcotest.test_case "b(i)" `Quick test_complexity_b;
+          Alcotest.test_case "b(i) closed-form envelope" `Quick
+            test_complexity_b_closed_form_bound;
+          Alcotest.test_case "saturation" `Quick test_complexity_saturation;
+        ] );
+      ( "covering",
+        [
+          Alcotest.test_case "single simulator" `Quick test_single_covering;
+          Alcotest.test_case "final block path" `Quick test_final_block_path;
+          Alcotest.test_case "two covering" `Quick test_two_covering_simulators;
+          Alcotest.test_case "covering + direct" `Quick test_covering_plus_direct;
+          Alcotest.test_case "k-set regime" `Quick test_kset_regime;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "Lemma 30 BU counts" `Quick test_bu_counts_within_lemma30;
+          Alcotest.test_case "Lemma 31 step bound" `Quick test_step_bound_lemma31;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "too little space breaks" `Quick
+            test_witness_disagreement_exists;
+          Alcotest.test_case "enough space holds" `Quick
+            test_sufficient_space_no_witness;
+          Alcotest.test_case "lockstep breaks racing deterministically" `Quick
+            test_phase_shifted_breaks_racing;
+          Alcotest.test_case "stale writer breaks m<n" `Quick
+            test_stale_writer_breaks_undersized;
+          Alcotest.test_case "adopt2 survives covering adversaries" `Quick
+            test_adopt2_survives_covering_adversaries;
+        ] );
+      ( "degenerate shapes",
+        [
+          Alcotest.test_case "all-direct simulators" `Quick test_all_direct_simulators;
+          Alcotest.test_case "trace pretty-printer" `Quick test_trace_pp_renders;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "non-OF protocol fails loudly" `Quick
+            test_non_of_protocol_fails_loudly;
+          Alcotest.test_case "instant-output protocol" `Quick test_constant_protocol;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "approx through simulation" `Quick
+            test_approx_through_simulation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simulation_sound; prop_simulation_deterministic ] );
+    ]

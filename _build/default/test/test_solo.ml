@@ -1,0 +1,346 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_solo
+
+let i n = Value.Int n
+
+(* ---- Ndproto basics ---- *)
+
+let test_expected_response () =
+  let nd = Nd_examples.ticket in
+  let ep = Ndproto.initial_ep nd in
+  Alcotest.(check bool) "fai initial ep" true (Value.equal ep.(0) (i 0));
+  let r = Ndproto.expected_response nd ~ep (Ndproto.Nop (0, Objects.Fetch_inc)) in
+  Alcotest.(check bool) "fai returns old" true (Value.equal r (i 0));
+  let ep' =
+    Ndproto.update_ep nd ~ep (Ndproto.Nop (0, Objects.Fetch_inc)) ~response:r
+  in
+  Alcotest.(check bool) "ep advanced" true (Value.equal ep'.(0) (i 1))
+
+let test_scan_response_roundtrip () =
+  let nd = Nd_examples.coin_consensus ~me:0 () in
+  let ep = Ndproto.initial_ep nd in
+  let r = Ndproto.expected_response nd ~ep Ndproto.Nscan in
+  (match r with
+  | Value.List [ Value.Bot; Value.Bot ] -> ()
+  | _ -> Alcotest.fail "expected list of bots");
+  let fake = Value.List [ i 1; i 2 ] in
+  let ep' = Ndproto.update_ep nd ~ep Ndproto.Nscan ~response:fake in
+  Alcotest.(check bool) "scan adopts real response" true
+    (Value.equal ep'.(0) (i 1) && Value.equal ep'.(1) (i 2))
+
+let test_maxreg_semantics_in_ep () =
+  (* Ndproto's expected-view machinery must track non-register kinds:
+     max-registers keep the lexicographic maximum. *)
+  let nd =
+    {
+      Ndproto.name = "maxreg-probe";
+      m = 1;
+      kinds = [| Objects.Max_register |];
+      init = (fun v -> v);
+      view = (fun _ -> `Step (Ndproto.Nop (0, Objects.Write_max (i 5))));
+      delta = (fun s _ -> [ s ]);
+    }
+  in
+  let ep = Ndproto.initial_ep nd in
+  let step = Ndproto.Nop (0, Objects.Write_max (i 5)) in
+  let ep1 = Ndproto.update_ep nd ~ep step ~response:Value.Bot in
+  Alcotest.(check bool) "first write sticks" true (Value.equal ep1.(0) (i 5));
+  let ep2 =
+    Ndproto.update_ep nd ~ep:ep1 (Ndproto.Nop (0, Objects.Write_max (i 3)))
+      ~response:Value.Bot
+  in
+  Alcotest.(check bool) "smaller write ignored" true (Value.equal ep2.(0) (i 5));
+  let r = Ndproto.expected_response nd ~ep:ep2 (Ndproto.Nop (0, Objects.Read)) in
+  Alcotest.(check bool) "read sees the max" true (Value.equal r (i 5))
+
+let test_successors_sorted () =
+  let nd = Nd_examples.ticket in
+  let maybe = Value.Pair (Value.Str "maybe", i 3) in
+  let succ = Ndproto.successors nd maybe (Value.List [ i 0 ]) in
+  Alcotest.(check int) "two successors" 2 (List.length succ);
+  let sorted = List.sort Value.compare succ in
+  Alcotest.(check bool) "sorted" true (succ = sorted)
+
+(* ---- Solo paths ---- *)
+
+let test_shortest_ticket () =
+  let nd = Nd_examples.ticket in
+  let s0 = nd.Ndproto.init (i 0) in
+  let ep = Ndproto.initial_ep nd in
+  Alcotest.(check (option int)) "two steps to decide" (Some 2)
+    (Solo_path.shortest nd ~state:s0 ~ep ~cap:10_000)
+
+let test_shortest_coin () =
+  let nd = Nd_examples.coin_consensus ~me:0 () in
+  let s0 = nd.Ndproto.init (i 5) in
+  let ep = Ndproto.initial_ep nd in
+  Alcotest.(check (option int)) "write + scan = 2" (Some 2)
+    (Solo_path.shortest nd ~state:s0 ~ep ~cap:10_000);
+  (* From a state where the other register holds a different value: the
+     shortest path adopts (write, scan, decide): still finite. *)
+  let ep_conflict = [| Value.Bot; i 9 |] in
+  let s_scan = Value.Pair (Value.Str "s", Value.Pair (i 5, i 0)) in
+  match Solo_path.shortest nd ~state:s_scan ~ep:ep_conflict ~cap:10_000 with
+  | Some d -> Alcotest.(check bool) "finite under conflict" true (d <= 4)
+  | None -> Alcotest.fail "expected a solo path"
+
+let test_hopeless_no_path () =
+  let nd = Nd_examples.hopeless in
+  let s0 = nd.Ndproto.init (i 0) in
+  let ep = Ndproto.initial_ep nd in
+  Alcotest.(check (option int)) "no path" None
+    (Solo_path.shortest nd ~state:s0 ~ep ~cap:2_000)
+
+let test_first_move () =
+  let nd = Nd_examples.ticket in
+  let maybe = Value.Pair (Value.Str "maybe", i 7) in
+  let ep = [| i 1 |] in
+  match Solo_path.first_move nd ~state:maybe ~ep ~cap:10_000 with
+  | Some (Ndproto.Nscan, s') ->
+    Alcotest.(check bool) "moves to decide" true
+      (Value.equal s' (Value.Pair (Value.Str "d", i 7)))
+  | _ -> Alcotest.fail "expected a scan move to the deciding state"
+
+(* ---- Derandomization (Theorem 35) ---- *)
+
+let test_ticket_derandomized_decides_first () =
+  let p = Derandomize.convert Nd_examples.ticket ~cap:10_000 ~input:(i 0) in
+  let c = Mrun.init [ p ] in
+  let c', outcome = Mrun.run ~sched:(Schedule.solo 0) c in
+  Alcotest.(check bool) "terminates" true (outcome = Mrun.All_done);
+  Alcotest.(check bool) "decides ticket 0" true
+    (Mrun.outputs c' = [ (0, i 0) ])
+
+let test_ticket_two_processes_distinct () =
+  List.iter
+    (fun seed ->
+      let procs =
+        List.init 2 (fun _ ->
+            Derandomize.convert Nd_examples.ticket ~cap:10_000 ~input:(i 0))
+      in
+      let c = Mrun.init procs in
+      let c', outcome = Mrun.run ~sched:(Schedule.random ~seed) c in
+      Alcotest.(check bool) "both terminate" true (outcome = Mrun.All_done);
+      match List.map snd (Mrun.outputs c') with
+      | [ a; b ] ->
+        Alcotest.(check bool) "distinct tickets" false (Value.equal a b)
+      | _ -> Alcotest.fail "expected two outputs")
+    (List.init 20 Fun.id)
+
+let coin_pair ?tagged () =
+  [
+    Derandomize.convert
+      (Nd_examples.coin_consensus ?tagged ~me:0 ())
+      ~cap:10_000 ~input:(i 1);
+    Derandomize.convert
+      (Nd_examples.coin_consensus ?tagged ~me:1 ())
+      ~cap:10_000 ~input:(i 2);
+  ]
+
+let test_coin_derandomized_agreement () =
+  List.iter
+    (fun seed ->
+      let c = Mrun.init (coin_pair ()) in
+      let c', _ = Mrun.run ~max_steps:2_000 ~sched:(Schedule.random ~seed) c in
+      match List.map snd (Mrun.outputs c') with
+      | [ a; b ] -> Alcotest.(check bool) "agreement" true (Value.equal a b)
+      | _ -> () (* not all decided within the budget: fine for OF *))
+    (List.init 40 Fun.id)
+
+let test_theorem35_obstruction_freedom () =
+  (* From any reachable configuration of the derandomized protocol
+     (random prefix), every process terminates solo. *)
+  List.iter
+    (fun seed ->
+      let c = Mrun.init (coin_pair ()) in
+      let prefix_len = seed mod 17 in
+      let sched =
+        Schedule.phased ~prefix_len ~prefix:(Schedule.random ~seed)
+          ~suffix:(Schedule.script [])
+      in
+      let c', _ = Mrun.run ~sched c in
+      List.iter
+        (fun pid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "pid %d solo-terminates (seed %d)" pid seed)
+            true
+            (Mrun.solo_terminates ~max_steps:200 c' pid))
+        (Mrun.live c'))
+    (List.init 40 Fun.id)
+
+let test_solo_distance_decreases () =
+  (* Theorem 35's invariant: along a solo run, the shortest-solo-path
+     length decreases by exactly 1 on every step whose response matches
+     the process's expectation. The first step after a contended prefix
+     may see an unexpected response (fallback transition); after it the
+     run is truly solo and the invariant must hold at every step. *)
+  let c = Mrun.init (coin_pair ()) in
+  (* random prefix to desynchronize *)
+  let c, _ = Mrun.run ~max_steps:3 ~sched:(Schedule.random ~seed:7) c in
+  let expected_matches c pid =
+    let p = Mrun.proc c pid in
+    match Derandomize.poised p with
+    | `Output _ -> true
+    | `Step step ->
+      let nd = Derandomize.nd p in
+      let expected =
+        Ndproto.expected_response nd ~ep:(Derandomize.expected p) step
+      in
+      let actual =
+        match step with
+        | Ndproto.Nscan -> Ndproto.view_of_ep (Mrun.mem c)
+        | Ndproto.Nop (j, op) -> (
+          match Objects.apply nd.Ndproto.kinds.(j) (Mrun.mem c).(j) op with
+          | Ok (_, resp) -> resp
+          | Error e -> Alcotest.fail e)
+      in
+      Value.equal expected actual
+  in
+  let rec walk c pid steps =
+    if steps > 50 then Alcotest.fail "did not terminate"
+    else
+      match Derandomize.poised (Mrun.proc c pid) with
+      | `Output _ ->
+        Alcotest.(check (option int)) "final distance 0" (Some 0)
+          (Derandomize.solo_distance (Mrun.proc c pid))
+      | `Step _ ->
+        let before = Derandomize.solo_distance (Mrun.proc c pid) in
+        let matches = expected_matches c pid in
+        let c' = Mrun.step_pid c pid in
+        let after = Derandomize.solo_distance (Mrun.proc c' pid) in
+        (if matches then
+           match (before, after) with
+           | Some b, Some a ->
+             Alcotest.(check int) "distance decreases by 1" (b - 1) a
+           | _ -> Alcotest.fail "distance must stay finite on expected steps");
+        walk c' pid (steps + 1)
+  in
+  walk c 0 0
+
+let test_hopeless_convert () =
+  let p = Derandomize.convert Nd_examples.hopeless ~cap:500 ~input:(i 0) in
+  Alcotest.(check (option int)) "no solo path" None (Derandomize.solo_distance p);
+  let c = Mrun.init [ p ] in
+  let _, outcome = Mrun.run ~max_steps:100 ~sched:(Schedule.solo 0) c in
+  Alcotest.(check bool) "never terminates" true (outcome = Mrun.Step_limit)
+
+(* ---- ABA (§5.3) ---- *)
+
+let test_has_aba () =
+  Alcotest.(check bool) "aba" true (Aba.has_aba [ i 1; i 2; i 1 ]);
+  Alcotest.(check bool) "no aba monotone" false (Aba.has_aba [ i 1; i 2; i 3 ]);
+  Alcotest.(check bool) "no aba repeat" false (Aba.has_aba [ i 1; i 1; i 2 ]);
+  Alcotest.(check bool) "empty" false (Aba.has_aba []);
+  Alcotest.(check bool) "aba long" true (Aba.has_aba [ i 3; i 1; i 2; i 2; i 3 ])
+
+let find_aba_run ~tagged =
+  (* Search schedules for a run of coin consensus whose register history
+     exhibits ABA. Untagged: value flip-flops can recur. Tagged: the
+     sequence number makes every written value fresh. *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 300 do
+    let c = Mrun.init (coin_pair ~tagged ()) in
+    let c', _ = Mrun.run ~max_steps:400 ~sched:(Schedule.random ~seed:!seed) c in
+    (match Aba.check c' with Error _ -> found := true | Ok () -> ());
+    incr seed
+  done;
+  !found
+
+let test_untagged_can_aba () =
+  Alcotest.(check bool) "untagged coin consensus exhibits ABA somewhere" true
+    (find_aba_run ~tagged:false)
+
+let test_tagged_never_aba () =
+  Alcotest.(check bool) "tagged variant is ABA-free across 300 schedules" false
+    (find_aba_run ~tagged:true)
+
+let test_fai_never_aba () =
+  List.iter
+    (fun seed ->
+      let procs =
+        List.init 3 (fun _ ->
+            Derandomize.convert Nd_examples.ticket ~cap:10_000 ~input:(i 0))
+      in
+      let c = Mrun.init procs in
+      let c', _ = Mrun.run ~sched:(Schedule.random ~seed) c in
+      match Aba.check c' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fetch-and-increment ABA?! %s" e)
+    (List.init 20 Fun.id)
+
+(* ---- properties ---- *)
+
+let prop_derandomized_deterministic =
+  QCheck.Test.make ~name:"derandomized runs deterministic in the seed" ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let go () =
+        let c = Mrun.init (coin_pair ()) in
+        let c', _ = Mrun.run ~max_steps:500 ~sched:(Schedule.random ~seed) c in
+        Mrun.outputs c'
+      in
+      go () = go ())
+
+let prop_coin_validity =
+  QCheck.Test.make ~name:"coin consensus validity" ~count:50
+    QCheck.(pair (int_bound 10_000) (pair (int_range 0 5) (int_range 0 5)))
+    (fun (seed, (a, b)) ->
+      let procs =
+        [
+          Derandomize.convert
+            (Nd_examples.coin_consensus ~me:0 ())
+            ~cap:10_000 ~input:(i a);
+          Derandomize.convert
+            (Nd_examples.coin_consensus ~me:1 ())
+            ~cap:10_000 ~input:(i b);
+        ]
+      in
+      let c = Mrun.init procs in
+      let c', _ = Mrun.run ~max_steps:1_000 ~sched:(Schedule.random ~seed) c in
+      List.for_all
+        (fun (_, v) -> Value.equal v (i a) || Value.equal v (i b))
+        (Mrun.outputs c'))
+
+let () =
+  Alcotest.run "solo"
+    [
+      ( "ndproto",
+        [
+          Alcotest.test_case "expected response" `Quick test_expected_response;
+          Alcotest.test_case "scan roundtrip" `Quick test_scan_response_roundtrip;
+          Alcotest.test_case "max-register semantics" `Quick test_maxreg_semantics_in_ep;
+          Alcotest.test_case "successors sorted" `Quick test_successors_sorted;
+        ] );
+      ( "solo paths",
+        [
+          Alcotest.test_case "ticket shortest" `Quick test_shortest_ticket;
+          Alcotest.test_case "coin shortest" `Quick test_shortest_coin;
+          Alcotest.test_case "hopeless has none" `Quick test_hopeless_no_path;
+          Alcotest.test_case "first move" `Quick test_first_move;
+        ] );
+      ( "derandomize",
+        [
+          Alcotest.test_case "ticket decides first" `Quick
+            test_ticket_derandomized_decides_first;
+          Alcotest.test_case "tickets distinct" `Quick
+            test_ticket_two_processes_distinct;
+          Alcotest.test_case "coin agreement" `Quick test_coin_derandomized_agreement;
+          Alcotest.test_case "Theorem 35: obstruction-free" `Quick
+            test_theorem35_obstruction_freedom;
+          Alcotest.test_case "solo distance decreases" `Quick
+            test_solo_distance_decreases;
+          Alcotest.test_case "hopeless stays hopeless" `Quick test_hopeless_convert;
+        ] );
+      ( "aba",
+        [
+          Alcotest.test_case "has_aba" `Quick test_has_aba;
+          Alcotest.test_case "untagged can ABA" `Quick test_untagged_can_aba;
+          Alcotest.test_case "tagged never ABA" `Quick test_tagged_never_aba;
+          Alcotest.test_case "fetch-inc never ABA" `Quick test_fai_never_aba;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_derandomized_deterministic; prop_coin_validity ] );
+    ]

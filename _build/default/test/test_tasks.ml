@@ -1,0 +1,90 @@
+open Rsim_value
+open Rsim_tasks
+
+let i n = Value.Int n
+let fl x = Value.Float x
+
+let ok = function Ok () -> true | Error _ -> false
+
+let test_consensus () =
+  let t = Task.consensus in
+  Alcotest.(check bool) "agree" true
+    (ok (Task.check t ~inputs:[ i 1; i 2 ] ~outputs:[ i 1; i 1 ]));
+  Alcotest.(check bool) "disagree" false
+    (ok (Task.check t ~inputs:[ i 1; i 2 ] ~outputs:[ i 1; i 2 ]));
+  Alcotest.(check bool) "invented value" false
+    (ok (Task.check t ~inputs:[ i 1; i 2 ] ~outputs:[ i 3 ]));
+  Alcotest.(check bool) "no outputs fine" true
+    (ok (Task.check t ~inputs:[ i 1 ] ~outputs:[]));
+  Alcotest.(check bool) "no inputs invalid" false
+    (ok (Task.check t ~inputs:[] ~outputs:[]));
+  Alcotest.(check bool) "bot input invalid" false
+    (ok (Task.check t ~inputs:[ Value.Bot ] ~outputs:[]))
+
+let test_kset () =
+  let t = Task.kset ~k:2 in
+  Alcotest.(check bool) "two values ok" true
+    (ok (Task.check t ~inputs:[ i 1; i 2; i 3 ] ~outputs:[ i 1; i 2; i 1 ]));
+  Alcotest.(check bool) "three values bad" false
+    (ok (Task.check t ~inputs:[ i 1; i 2; i 3 ] ~outputs:[ i 1; i 2; i 3 ]));
+  Alcotest.(check bool) "invented value bad" false
+    (ok (Task.check t ~inputs:[ i 1; i 2 ] ~outputs:[ i 9 ]));
+  Alcotest.(check bool) "k=1 is consensus" false
+    (ok (Task.check (Task.kset ~k:1) ~inputs:[ i 1; i 2 ] ~outputs:[ i 1; i 2 ]));
+  Alcotest.check_raises "k=0 rejected" (Invalid_argument "Task.kset: k must be >= 1")
+    (fun () -> ignore (Task.kset ~k:0))
+
+let test_approx () =
+  let t = Task.approx ~eps:0.25 in
+  Alcotest.(check bool) "close outputs ok" true
+    (ok (Task.check t ~inputs:[ fl 0.0; fl 1.0 ] ~outputs:[ fl 0.5; fl 0.6 ]));
+  Alcotest.(check bool) "spread outputs bad" false
+    (ok (Task.check t ~inputs:[ fl 0.0; fl 1.0 ] ~outputs:[ fl 0.1; fl 0.9 ]));
+  Alcotest.(check bool) "outside hull bad" false
+    (ok (Task.check t ~inputs:[ fl 0.4; fl 0.5 ] ~outputs:[ fl 0.1 ]));
+  Alcotest.(check bool) "int inputs ok" true
+    (ok (Task.check t ~inputs:[ i 0; i 0 ] ~outputs:[ fl 0.0 ]));
+  Alcotest.(check bool) "non-numeric output bad" false
+    (ok (Task.check t ~inputs:[ fl 0.0 ] ~outputs:[ Value.Str "x" ]));
+  Alcotest.check_raises "eps<=0 rejected"
+    (Invalid_argument "Task.approx: eps must be positive") (fun () ->
+      ignore (Task.approx ~eps:0.0))
+
+(* property: consensus outputs drawn uniformly from a single input are
+   always valid; from two distinct inputs, valid iff all equal. *)
+let prop_consensus_characterization =
+  QCheck.Test.make ~name:"consensus valid iff outputs all-equal subset of inputs"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 5) (int_bound 3))
+              (list_of_size Gen.(int_bound 5) (int_bound 3)))
+    (fun (ins, outs) ->
+      let inputs = List.map i ins and outputs = List.map i outs in
+      let expected =
+        List.for_all (fun o -> List.mem o ins) outs
+        && List.length (List.sort_uniq Int.compare outs) <= 1
+      in
+      ok (Task.check Task.consensus ~inputs ~outputs) = expected)
+
+let prop_kset_monotone_in_k =
+  QCheck.Test.make ~name:"kset: valid for k implies valid for k+1" ~count:200
+    QCheck.(triple (int_range 1 4)
+              (list_of_size Gen.(int_range 1 5) (int_bound 4))
+              (list_of_size Gen.(int_bound 5) (int_bound 4)))
+    (fun (k, ins, outs) ->
+      let inputs = List.map i ins and outputs = List.map i outs in
+      let v k = ok (Task.check (Task.kset ~k) ~inputs ~outputs) in
+      if v k then v (k + 1) else true)
+
+let () =
+  Alcotest.run "tasks"
+    [
+      ( "tasks",
+        [
+          Alcotest.test_case "consensus" `Quick test_consensus;
+          Alcotest.test_case "kset" `Quick test_kset;
+          Alcotest.test_case "approx" `Quick test_approx;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_consensus_characterization; prop_kset_monotone_in_k ] );
+    ]

@@ -1,0 +1,98 @@
+open Rsim_topology
+
+let test_structure () =
+  Alcotest.(check int) "vertices at s=3" 10 (List.length (Sperner.vertices ~s:3));
+  Alcotest.(check int) "triangles at s=3" 9 (List.length (Sperner.triangles ~s:3));
+  Alcotest.(check int) "triangles at s=5" 25 (List.length (Sperner.triangles ~s:5));
+  (* every cell's vertices are subdivision vertices *)
+  let vs = Sperner.vertices ~s:4 in
+  List.iter
+    (fun (a, b, c) ->
+      List.iter
+        (fun v -> Alcotest.(check bool) "vertex in range" true (List.mem v vs))
+        [ a; b; c ])
+    (Sperner.triangles ~s:4)
+
+let test_allowed_colors () =
+  Alcotest.(check (list int)) "corner A" [ 0 ] (Sperner.allowed_colors ~s:3 (3, 0));
+  Alcotest.(check (list int)) "corner B" [ 1 ] (Sperner.allowed_colors ~s:3 (0, 3));
+  Alcotest.(check (list int)) "corner C" [ 2 ] (Sperner.allowed_colors ~s:3 (0, 0));
+  Alcotest.(check (list int)) "AB edge" [ 0; 1 ] (Sperner.allowed_colors ~s:3 (1, 2));
+  Alcotest.(check (list int)) "interior" [ 0; 1; 2 ]
+    (Sperner.allowed_colors ~s:3 (1, 1))
+
+let test_validity () =
+  let corners_only v =
+    match Sperner.allowed_colors ~s:2 v with c :: _ -> c | [] -> 0
+  in
+  Alcotest.(check bool) "first-allowed coloring valid" true
+    (Sperner.valid ~s:2 ~coloring:corners_only);
+  Alcotest.(check bool) "constant coloring invalid" false
+    (Sperner.valid ~s:2 ~coloring:(fun _ -> 0))
+
+let test_sperner_parity_random () =
+  (* Sperner's lemma: every valid coloring has an odd number of
+     trichromatic cells. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun s ->
+          let coloring = Sperner.random_coloring ~s ~seed in
+          Alcotest.(check bool) "coloring valid" true (Sperner.valid ~s ~coloring);
+          let count = List.length (Sperner.trichromatic ~s ~coloring) in
+          Alcotest.(check bool)
+            (Printf.sprintf "odd count (s=%d seed=%d count=%d)" s seed count)
+            true
+            (count mod 2 = 1))
+        [ 1; 2; 3; 5; 8 ])
+    (List.init 20 Fun.id)
+
+let test_walk_finds_one () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun s ->
+          let coloring = Sperner.random_coloring ~s ~seed in
+          match Sperner.find_by_walk ~s ~coloring with
+          | Some t ->
+            Alcotest.(check bool) "walk result is trichromatic" true
+              (List.mem t (Sperner.trichromatic ~s ~coloring))
+          | None -> Alcotest.failf "walk found nothing (s=%d seed=%d)" s seed)
+        [ 1; 2; 3; 5; 8 ])
+    (List.init 20 Fun.id)
+
+let test_walk_rejects_invalid () =
+  Alcotest.(check bool) "invalid coloring refused" true
+    (Sperner.find_by_walk ~s:3 ~coloring:(fun _ -> 0) = None)
+
+let prop_parity =
+  QCheck.Test.make ~name:"Sperner parity over random colorings" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 10))
+    (fun (seed, s) ->
+      let coloring = Sperner.random_coloring ~s ~seed in
+      List.length (Sperner.trichromatic ~s ~coloring) mod 2 = 1)
+
+let prop_walk_agrees =
+  QCheck.Test.make ~name:"walk finds a trichromatic cell" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 10))
+    (fun (seed, s) ->
+      let coloring = Sperner.random_coloring ~s ~seed in
+      match Sperner.find_by_walk ~s ~coloring with
+      | Some t -> List.mem t (Sperner.trichromatic ~s ~coloring)
+      | None -> false)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "sperner",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "allowed colors" `Quick test_allowed_colors;
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "parity (the lemma)" `Quick test_sperner_parity_random;
+          Alcotest.test_case "constructive walk" `Quick test_walk_finds_one;
+          Alcotest.test_case "invalid rejected" `Quick test_walk_rejects_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_parity; prop_walk_agrees ] );
+    ]
