@@ -84,6 +84,30 @@ let e8_derand_run =
          Mrun.run ~max_steps:500 ~sched:(Schedule.random ~seed:18)
            (Mrun.init procs)))
 
+let explore_workload () =
+  match
+    Explore.Aug_target.builtin
+      ~oracles:[ Explore.Aug_target.no_failure; Explore.Aug_target.spec ]
+      ~name:"bu-conflict" ~f:2 ~m:2 ()
+  with
+  | Some w -> w
+  | None -> assert false
+
+let explore_exhaustive =
+  let w = explore_workload () in
+  Test.make ~name:"explore/exhaustive f=2 m=2 <=8"
+    (stage (fun () -> Explore.exhaustive ~max_steps:8 w))
+
+let explore_sweep_1d =
+  let w = explore_workload () in
+  Test.make ~name:"explore/sweep 64 scheds 1 domain"
+    (stage (fun () -> Explore.sweep ~domains:1 ~max_steps:40 ~budget:64 ~seed:21 w))
+
+let explore_sweep_4d =
+  let w = explore_workload () in
+  Test.make ~name:"explore/sweep 64 scheds 4 domains"
+    (stage (fun () -> Explore.sweep ~domains:4 ~max_steps:40 ~budget:64 ~seed:21 w))
+
 let substrate_regsnap =
   Test.make ~name:"substrate/regsnap scan f=3"
     (stage (fun () ->
@@ -115,6 +139,9 @@ let tests =
     e7_tables;
     e8_solo_search;
     e8_derand_run;
+    explore_exhaustive;
+    explore_sweep_1d;
+    explore_sweep_4d;
     substrate_regsnap;
     substrate_sperner;
   ]
@@ -153,6 +180,32 @@ let run_benchmarks () =
         estimates)
     tests
 
+(* -------- explorer throughput: schedules per second -------- *)
+
+let explore_throughput () =
+  let w = explore_workload () in
+  let report name executions dt =
+    Printf.printf "%-36s %8d scheds %8.2f s %10.0f scheds/s\n" name executions
+      dt
+      (if dt > 0. then float_of_int executions /. dt else nan)
+  in
+  let t0 = Unix.gettimeofday () in
+  let rep = Explore.exhaustive ~max_steps:10 w in
+  report "exhaustive f=2 m=2 <=10"
+    (rep.Explore.complete + rep.Explore.truncated)
+    (Unix.gettimeofday () -. t0);
+  let budget = 2048 in
+  List.iter
+    (fun domains ->
+      let t0 = Unix.gettimeofday () in
+      let rep = Explore.sweep ~domains ~max_steps:60 ~budget ~seed:31 w in
+      report
+        (Printf.sprintf "sweep %d scheds %d domain%s" budget domains
+           (if domains = 1 then "" else "s"))
+        rep.Explore.executions
+        (Unix.gettimeofday () -. t0))
+    [ 1; 2; 4 ]
+
 let () =
   print_endline "======================================================";
   print_endline " Experiment tables (EXPERIMENTS.md, E1..E10)";
@@ -163,4 +216,9 @@ let () =
   print_endline "======================================================";
   print_endline " Micro-benchmarks (bechamel, monotonic clock)";
   print_endline "======================================================";
-  run_benchmarks ()
+  run_benchmarks ();
+  print_newline ();
+  print_endline "======================================================";
+  print_endline " Explorer throughput (schedules per second)";
+  print_endline "======================================================";
+  explore_throughput ()

@@ -217,6 +217,213 @@ let sperner_cmd =
        ~doc:"Sperner's lemma demo: the combinatorial core of the reduction's target.")
     Term.(const run $ scale $ seed)
 
+(* ---------------- explore ---------------- *)
+
+let print_violation i (v : Explore.violation) =
+  Printf.printf "violation %d:\n" (i + 1);
+  Printf.printf "  original (%d steps): [%s]\n"
+    (List.length v.Explore.original)
+    (String.concat "; " (List.map string_of_int v.Explore.original));
+  Printf.printf "  shrunk   (%d steps): [%s]\n"
+    (List.length v.Explore.script)
+    (String.concat "; " (List.map string_of_int v.Explore.script));
+  List.iter (fun e -> Printf.printf "  - %s\n" e) v.Explore.errors
+
+let save_violations ~out ~workload ~max_steps violations =
+  match out with
+  | None -> ()
+  | Some path ->
+    List.iteri
+      (fun i v ->
+        let path =
+          if i = 0 then path else Printf.sprintf "%s.%d" path (i + 1)
+        in
+        Artifact.save ~path (Artifact.of_violation ~workload ~max_steps v);
+        Printf.printf "artifact saved to %s (replay with: rsim replay %s)\n"
+          path path)
+      violations
+
+let build_workload ~workload ~f ~m ~n ~d ~inject =
+  let inject =
+    match inject with
+    | None -> Ok None
+    | Some s -> (
+      match Explore.fault_of_string s with
+      | Some fault -> Ok (Some fault)
+      | None -> Error (Printf.sprintf "unknown fault %S" s))
+  in
+  match inject with
+  | Error e -> Error e
+  | Ok inject -> (
+    match workload with
+    | "racing" ->
+      if inject <> None then
+        Error "--inject applies to augmented-snapshot workloads only"
+      else Ok (Explore.Harness_target.racing ~n ~m ~f ~d ())
+    | name -> (
+      match Explore.Aug_target.builtin ?inject ~name ~f ~m () with
+      | Some w -> Ok w
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S (expected one of: %s)" name
+             (String.concat ", "
+                (Explore.Aug_target.builtin_names @ [ "racing" ])))))
+
+let explore_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt string "bu-conflict"
+      & info [ "workload" ]
+          ~doc:
+            "Workload to explore: bu-conflict, bu-scan, bu-then-scan, mixed \
+             (augmented snapshot), or racing (full simulation).")
+  in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Processes / simulators.") in
+  let m = Arg.(value & opt int 2 & info [ "m" ] ~doc:"Snapshot components.") in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Simulated processes (racing only).") in
+  let d = Arg.(value & opt int 0 & info [ "d" ] ~doc:"Direct simulators (racing only).") in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("exhaustive", `Exhaustive); ("sweep", `Sweep) ]) `Exhaustive
+      & info [ "mode" ]
+          ~doc:"exhaustive: DFS over all schedules; sweep: parallel randomized.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 0
+      & info [ "max-steps" ]
+          ~doc:"Step bound per execution (0 = 12 for exhaustive, 200 for sweep).")
+  in
+  let preemption_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemption-bound" ]
+          ~doc:"Only explore schedules with at most this many preemptions.")
+  in
+  let budget =
+    Arg.(value & opt int 2000 & info [ "budget" ] ~doc:"Sweep: schedules to run.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~doc:"Sweep: parallel domains (default: auto).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sweep: base seed.") in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ]
+          ~doc:"Seed a fault: skip-yield-check or yield-on-higher.")
+  in
+  let max_violations =
+    Arg.(
+      value & opt int 1
+      & info [ "max-violations" ] ~doc:"Stop after this many distinct counterexamples.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Save counterexample artifacts here.")
+  in
+  let run workload f m n d mode max_steps preemption_bound budget domains seed
+      inject max_violations out =
+    match build_workload ~workload ~f ~m ~n ~d ~inject with
+    | Error e ->
+      prerr_endline ("rsim explore: " ^ e);
+      exit 2
+    | Ok w -> (
+      match mode with
+      | `Exhaustive ->
+        let max_steps = if max_steps = 0 then 12 else max_steps in
+        let rep =
+          Explore.exhaustive ~max_steps ?preemption_bound ~max_violations w
+        in
+        Printf.printf
+          "exhaustive %s: %d prefixes, %d complete + %d truncated executions \
+           (max %d steps%s)\n"
+          w.Explore.name rep.Explore.prefixes rep.Explore.complete
+          rep.Explore.truncated max_steps
+          (match preemption_bound with
+          | None -> ""
+          | Some b -> Printf.sprintf ", <= %d preemptions" b);
+        List.iteri print_violation rep.Explore.violations;
+        save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
+        if rep.Explore.violations = [] then
+          print_endline "no violations: every explored schedule satisfies the oracles"
+        else exit 1
+      | `Sweep ->
+        let max_steps = if max_steps = 0 then 200 else max_steps in
+        let rep =
+          Explore.sweep ?domains ~max_steps ~max_violations ~budget ~seed w
+        in
+        Printf.printf "sweep %s: %d executions on %d domains (max %d steps)\n"
+          w.Explore.name rep.Explore.executions rep.Explore.domains max_steps;
+        List.iteri print_violation rep.Explore.violations;
+        save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
+        if rep.Explore.violations = [] then
+          print_endline "no violations found"
+        else exit 1)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Model-check a workload over schedules: exhaustive bounded DFS or \
+          parallel randomized sweeps, with shrinking and replayable artifacts.")
+    Term.(
+      const run $ workload $ f $ m $ n $ d $ mode $ max_steps $ preemption_bound
+      $ budget $ domains $ seed $ inject $ max_violations $ out)
+
+(* ---------------- replay ---------------- *)
+
+let replay_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Counterexample artifact (JSON).")
+  in
+  let run path =
+    match Artifact.load ~path with
+    | Error e ->
+      prerr_endline ("rsim replay: " ^ e);
+      exit 2
+    | Ok art -> (
+      match Artifact.to_workload art with
+      | Error e ->
+        prerr_endline ("rsim replay: " ^ e);
+        exit 2
+      | Ok w ->
+        Printf.printf "replaying %s%s (%d-step script) from %s\n"
+          art.Artifact.workload
+          (match art.Artifact.inject with
+          | None -> ""
+          | Some s -> Printf.sprintf " [injected fault: %s]" s)
+          (List.length art.Artifact.script)
+          path;
+        let out =
+          Explore.replay w ~max_steps:art.Artifact.max_steps
+            ~script:art.Artifact.script
+        in
+        if out.Explore.errors = [] then begin
+          print_endline "NOT reproduced: the script passes all oracles";
+          exit 1
+        end
+        else begin
+          print_endline "reproduced:";
+          List.iter (fun e -> Printf.printf "  - %s\n" e) out.Explore.errors
+        end)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run a saved counterexample artifact and confirm it still fails.")
+    Term.(const run $ path)
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -242,7 +449,16 @@ let main_cmd =
   let doc = "Revisionist simulations: executable space-lower-bound machinery (PODC 2018)." in
   Cmd.group
     (Cmd.info "rsim" ~version:Core.version ~doc)
-    [ bounds_cmd; simulate_cmd; witness_cmd; derand_cmd; sperner_cmd; experiments_cmd ]
+    [
+      bounds_cmd;
+      simulate_cmd;
+      witness_cmd;
+      derand_cmd;
+      sperner_cmd;
+      explore_cmd;
+      replay_cmd;
+      experiments_cmd;
+    ]
 
 let () =
   (* RSIM_LOG=debug surfaces the harness's internal logging. *)

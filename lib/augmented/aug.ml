@@ -42,18 +42,21 @@ type mop =
 
 let mop_proc = function Scan_op { proc; _ } -> proc | Bu_op { proc; _ } -> proc
 
+type fault = Skip_yield_check | Yield_on_higher
+
 type t = {
   f : int;
   m : int;
   helping : bool;
+  inject : fault option;
   mutable h : Hrep.snap;
   mutable clock : int;
   mutable rev_log : mop list;
 }
 
-let create ?(helping = true) ~f ~m () =
+let create ?(helping = true) ?inject ~f ~m () =
   if f <= 0 || m <= 0 then invalid_arg "Aug.create: f and m must be positive";
-  { f; m; helping; h = Hrep.create ~f; clock = 0; rev_log = [] }
+  { f; m; helping; inject; h = Hrep.create ~f; clock = 0; rev_log = [] }
 
 let f t = t.f
 let m t = t.m
@@ -162,11 +165,18 @@ let block_update t ~me updates =
   end;
   (* Line 8 *)
   let h', end_idx5 = hscan t in
-  (* Line 9: yield iff a lower-identifier process appended new triples. *)
+  (* Line 9: yield iff a lower-identifier process appended new triples.
+     Seeded faults mutate exactly this test. *)
   let hcnt = Hrep.counts h in
   let h'cnt = Hrep.counts h' in
+  let new_from pred =
+    List.exists (fun j -> pred j && h'cnt.(j) > hcnt.(j)) (List.init t.f Fun.id)
+  in
   let new_lower =
-    List.exists (fun j -> j < me && h'cnt.(j) > hcnt.(j)) (List.init t.f Fun.id)
+    match t.inject with
+    | None -> new_from (fun j -> j < me)
+    | Some Skip_yield_check -> false
+    | Some Yield_on_higher -> new_from (fun j -> j > me)
   in
   if new_lower then begin
     t.rev_log <-

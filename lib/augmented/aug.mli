@@ -89,13 +89,25 @@ val mop_proc : mop -> int
 
 type t
 
+(** Deliberately seeded bugs, for exercising the exploration engine
+    ({!Rsim_explore}): each fault mutates the Line-9 yield test of
+    Algorithm 4.
+
+    - [Skip_yield_check]: never yield. Under contention the Block-Update
+      returns a stale view, violating the window lemmas (17-19).
+    - [Yield_on_higher]: test {e higher} instead of lower identifiers
+      (the paper's prose bug, see the module comment). Process 0 can
+      then yield, violating Theorem 20. *)
+type fault = Skip_yield_check | Yield_on_higher
+
 (** [create ~f ~m ()]: fresh object for [f] real processes and [m]
     components of M. [helping] (default true) enables the L-record
     helping mechanism of §3.2; disabling it is the E9 ablation — the
     object still runs, but Block-Updates return their own Line-2 scan
     result instead of the freshest helper-provided view, and the §3.3
-    window properties (Lemmas 17-19) break under contention. *)
-val create : ?helping:bool -> f:int -> m:int -> unit -> t
+    window properties (Lemmas 17-19) break under contention. [inject]
+    (default none) seeds a deliberate bug. *)
+val create : ?helping:bool -> ?inject:fault -> f:int -> m:int -> unit -> t
 
 val f : t -> int
 val m : t -> int

@@ -62,6 +62,9 @@ module Mrun = Rsim_solo.Mrun
 module Aba = Rsim_solo.Aba
 module Nd_examples = Rsim_solo.Nd_examples
 
+module Explore = Rsim_explore.Explore
+module Artifact = Rsim_explore.Artifact
+
 module Regsnap = Rsim_regsnap.Regsnap
 
 module Sperner = Rsim_topology.Sperner

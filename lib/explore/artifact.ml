@@ -1,0 +1,318 @@
+type t = {
+  workload : string;
+  params : (string * int) list;
+  inject : string option;
+  max_steps : int;
+  errors : string list;
+  original : int list;
+  script : int list;
+}
+
+let of_violation ~(workload : Explore.workload) ~max_steps
+    (v : Explore.violation) =
+  {
+    workload = workload.Explore.name;
+    params = workload.Explore.params;
+    inject = workload.Explore.inject;
+    max_steps;
+    errors = v.Explore.errors;
+    original = v.Explore.original;
+    script = v.Explore.script;
+  }
+
+let to_workload t =
+  let p k = List.assoc_opt k t.params in
+  match t.workload with
+  | "racing" -> (
+    if t.inject <> None then
+      Error "racing workloads do not support fault injection"
+    else
+      match (p "n", p "m", p "f", p "d") with
+      | Some n, Some m, Some f, Some d ->
+        Ok (Explore.Harness_target.racing ~n ~m ~f ~d ())
+      | _ -> Error "racing artifact is missing one of n/m/f/d")
+  | name -> (
+    match (p "f", p "m") with
+    | Some f, Some m -> (
+      let inject =
+        match t.inject with
+        | None -> Ok None
+        | Some s -> (
+          match Explore.fault_of_string s with
+          | Some fault -> Ok (Some fault)
+          | None -> Error ("unknown injected fault: " ^ s))
+      in
+      match inject with
+      | Error e -> Error e
+      | Ok inject -> (
+        match Explore.Aug_target.builtin ?inject ~name ~f ~m () with
+        | Some w -> Ok w
+        | None -> Error ("unknown workload: " ^ name)))
+    | _ -> Error "artifact is missing f/m parameters")
+
+(* ---------------------------------------------------------------- *)
+(* Writing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
+
+let strs l =
+  "[" ^ String.concat ", " (List.map (fun s -> "\"" ^ esc s ^ "\"") l) ^ "]"
+
+let to_json t =
+  Printf.sprintf
+    "{\n\
+    \  \"version\": 1,\n\
+    \  \"workload\": \"%s\",\n\
+    \  \"params\": {%s},\n\
+    \  \"inject\": %s,\n\
+    \  \"max_steps\": %d,\n\
+    \  \"errors\": %s,\n\
+    \  \"original\": %s,\n\
+    \  \"script\": %s\n\
+     }\n"
+    (esc t.workload)
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %d" (esc k) v)
+          t.params))
+    (match t.inject with None -> "null" | Some s -> "\"" ^ esc s ^ "\"")
+    t.max_steps (strs t.errors) (ints t.original) (ints t.script)
+
+(* ---------------------------------------------------------------- *)
+(* Reading (minimal JSON subset)                                     *)
+(* ---------------------------------------------------------------- *)
+
+type json =
+  | Null
+  | Jint of int
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | None -> fail "unterminated escape"
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some c -> Buffer.add_char b c);
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if !pos = start then fail "expected an integer";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some k -> k
+    | None -> fail "invalid integer"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (elems [])
+      end
+    | Some 'n' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
+        pos := !pos + 4;
+        Null
+      end
+      else fail "expected null"
+    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let ( let* ) = Result.bind
+
+let of_json str =
+  match parse str with
+  | exception Parse msg -> Error ("invalid artifact: " ^ msg)
+  | Jobj fields ->
+    let find k = List.assoc_opt k fields in
+    let str_field k =
+      match find k with
+      | Some (Jstr s) -> Ok s
+      | _ -> Error ("artifact: missing string field " ^ k)
+    in
+    let int_field k =
+      match find k with
+      | Some (Jint i) -> Ok i
+      | _ -> Error ("artifact: missing integer field " ^ k)
+    in
+    let int_list k =
+      match find k with
+      | Some (Jarr xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            match x with
+            | Jint i -> Ok (i :: acc)
+            | _ -> Error ("artifact: non-integer in " ^ k))
+          (Ok []) xs
+        |> Result.map List.rev
+      | _ -> Error ("artifact: missing integer list " ^ k)
+    in
+    let str_list k =
+      match find k with
+      | Some (Jarr xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            match x with
+            | Jstr s -> Ok (s :: acc)
+            | _ -> Error ("artifact: non-string in " ^ k))
+          (Ok []) xs
+        |> Result.map List.rev
+      | _ -> Error ("artifact: missing string list " ^ k)
+    in
+    let* workload = str_field "workload" in
+    let* params =
+      match find "params" with
+      | Some (Jobj kvs) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match v with
+            | Jint i -> Ok ((k, i) :: acc)
+            | _ -> Error "artifact: non-integer parameter")
+          (Ok []) kvs
+        |> Result.map List.rev
+      | _ -> Error "artifact: missing params object"
+    in
+    let* inject =
+      match find "inject" with
+      | Some Null | None -> Ok None
+      | Some (Jstr s) -> Ok (Some s)
+      | Some _ -> Error "artifact: inject must be a string or null"
+    in
+    let* max_steps = int_field "max_steps" in
+    let* errors = str_list "errors" in
+    let* original = int_list "original" in
+    let* script = int_list "script" in
+    Ok { workload; params; inject; max_steps; errors; original; script }
+  | _ -> Error "invalid artifact: expected a JSON object"
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    of_json contents

@@ -1,0 +1,44 @@
+(** Persisted counterexamples: replayable JSON schedule scripts.
+
+    When an exploration engine ({!Explore.exhaustive} or
+    {!Explore.sweep}) finds a violating execution, the shrunk schedule is
+    saved as a small JSON document carrying everything needed to rebuild
+    the workload and re-run the exact execution later ([rsim replay]):
+
+    {v
+    {
+      "version": 1,
+      "workload": "bu-conflict",
+      "params": {"f": 2, "m": 2},
+      "inject": "yield-on-higher",
+      "max_steps": 12,
+      "errors": ["theorem20: process 0 yielded (ts [0;1])"],
+      "original": [1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1],
+      "script": [1, 0, 0, 0, 0, 0, 1, 1, 1, 1]
+    }
+    v}
+
+    The reader/writer below is a tiny hand-rolled JSON subset (objects,
+    arrays, strings, integers, [null]) — deliberately dependency-free. *)
+
+type t = {
+  workload : string;  (** a {!Explore.Aug_target.builtin} name or ["racing"] *)
+  params : (string * int) list;
+  inject : string option;
+  max_steps : int;
+  errors : string list;
+  original : int list;
+  script : int list;
+}
+
+val of_violation :
+  workload:Explore.workload -> max_steps:int -> Explore.violation -> t
+
+(** Rebuild the workload this artifact was produced from. Fails on an
+    unknown workload name, unparseable fault, or missing parameters. *)
+val to_workload : t -> (Explore.workload, string) result
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result

@@ -1,0 +1,663 @@
+open Rsim_value
+open Rsim_shmem
+module Aug = Rsim_augmented.Aug
+module Aug_spec = Rsim_augmented.Aug_spec
+module Hrep = Rsim_augmented.Hrep
+module Vts = Rsim_augmented.Vts
+module Harness = Rsim_simulation.Harness
+module Analysis = Rsim_simulation.Analysis
+module Task = Rsim_tasks.Task
+module Racing = Rsim_protocols.Racing
+
+(* ---------------------------------------------------------------- *)
+(* Workloads                                                         *)
+(* ---------------------------------------------------------------- *)
+
+type outcome = {
+  script : int list;
+  live : int list;
+  steps : int;
+  errors : string list;
+}
+
+type workload = {
+  name : string;
+  n_procs : int;
+  params : (string * int) list;
+  inject : string option;
+  exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
+}
+
+type violation = {
+  script : int list;
+  original : int list;
+  errors : string list;
+}
+
+module Oracle = struct
+  type 'exec t = {
+    name : string;
+    on_truncated : bool;
+    check : 'exec -> string list;
+  }
+end
+
+let fault_to_string = function
+  | Aug.Skip_yield_check -> "skip-yield-check"
+  | Aug.Yield_on_higher -> "yield-on-higher"
+
+let fault_of_string = function
+  | "skip-yield-check" -> Some Aug.Skip_yield_check
+  | "yield-on-higher" -> Some Aug.Yield_on_higher
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Replay and shrinking                                              *)
+(* ---------------------------------------------------------------- *)
+
+let replay w ~max_steps ~script =
+  w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:true
+
+let failing w ~max_steps script = (replay w ~max_steps ~script).errors <> []
+
+(* Greedy step removal: delete any single step whose removal keeps the
+   script failing, to fixpoint. *)
+let rec remove_pass w ~max_steps s =
+  let n = List.length s in
+  let rec try_i i =
+    if i >= n then None
+    else
+      let cand = List.filteri (fun j _ -> j <> i) s in
+      if failing w ~max_steps cand then Some cand else try_i (i + 1)
+  in
+  match try_i 0 with Some s' -> remove_pass w ~max_steps s' | None -> s
+
+(* Preemption merging: move a later contiguous block of some pid to sit
+   directly after an earlier block of the same pid, removing two context
+   switches, whenever the script still fails. *)
+let merge_pass w ~max_steps s =
+  let arr = Array.of_list s in
+  let n = Array.length arr in
+  let blocks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && arr.(!j) = arr.(!i) do
+      incr j
+    done;
+    blocks := (arr.(!i), !i, !j - !i) :: !blocks;
+    i := !j
+  done;
+  let blocks = List.rev !blocks in
+  let candidate (_, s1, l1) (p2, s2, l2) =
+    let pre = Array.to_list (Array.sub arr 0 (s1 + l1)) in
+    let mid = Array.to_list (Array.sub arr (s1 + l1) (s2 - s1 - l1)) in
+    let post = Array.to_list (Array.sub arr (s2 + l2) (n - s2 - l2)) in
+    pre @ List.init l2 (fun _ -> p2) @ mid @ post
+  in
+  let rec pairs = function
+    | [] -> None
+    | ((p1, _, _) as b1) :: rest ->
+      let rec inner = function
+        | [] -> pairs rest
+        | ((p2, _, _) as b2) :: more ->
+          if p1 = p2 then begin
+            let cand = candidate b1 b2 in
+            if failing w ~max_steps cand then Some cand else inner more
+          end
+          else inner more
+      in
+      inner rest
+  in
+  pairs blocks
+
+let shrink w ~max_steps ~script =
+  if not (failing w ~max_steps script) then script
+  else begin
+    let rec fix s =
+      let s' = remove_pass w ~max_steps s in
+      match merge_pass w ~max_steps s' with
+      | Some s'' -> fix s''
+      | None -> s'
+    in
+    fix script
+  end
+
+let record_violation w ~max_steps acc (out : outcome) =
+  let shrunk = shrink w ~max_steps ~script:out.script in
+  if List.exists (fun (v : violation) -> v.script = shrunk) acc then acc
+  else begin
+    let errs = (replay w ~max_steps ~script:shrunk).errors in
+    {
+      script = shrunk;
+      original = out.script;
+      errors = (if errs = [] then out.errors else errs);
+    }
+    :: acc
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Exhaustive enumeration                                            *)
+(* ---------------------------------------------------------------- *)
+
+type exhaustive_report = {
+  complete : int;
+  truncated : int;
+  prefixes : int;
+  violations : violation list;
+}
+
+let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
+  let complete = ref 0 in
+  let truncated = ref 0 in
+  let prefixes = ref 0 in
+  let violations = ref [] in
+  let stop = ref false in
+  let leaf ~cut script =
+    if cut then incr truncated else incr complete;
+    let out = replay w ~max_steps ~script in
+    if out.errors <> [] then begin
+      violations := record_violation w ~max_steps !violations out;
+      if List.length !violations >= max_violations then stop := true
+    end
+  in
+  (* DFS over schedule prefixes. The fiber continuations are one-shot, so
+     each prefix is replayed from scratch; workloads are small by
+     construction. [last] is the pid of the previous step, [preempts] the
+     context switches away from a still-live fiber so far. *)
+  let rec go script nsteps preempts last =
+    if not !stop then begin
+      incr prefixes;
+      let out =
+        w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:false
+      in
+      if out.live = [] then leaf ~cut:false script
+      else if nsteps >= max_steps then leaf ~cut:true script
+      else begin
+        let choices =
+          match preemption_bound with
+          | Some b when preempts >= b && last >= 0 && List.mem last out.live ->
+            [ last ]
+          | _ -> out.live
+        in
+        List.iter
+          (fun pid ->
+            let preempts' =
+              if last >= 0 && pid <> last && List.mem last out.live then
+                preempts + 1
+              else preempts
+            in
+            go (script @ [ pid ]) (nsteps + 1) preempts' pid)
+          choices
+      end
+    end
+  in
+  go [] 0 0 (-1);
+  {
+    complete = !complete;
+    truncated = !truncated;
+    prefixes = !prefixes;
+    violations = List.rev !violations;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Parallel randomized sweeps                                        *)
+(* ---------------------------------------------------------------- *)
+
+type sweep_report = {
+  executions : int;
+  domains : int;
+  violations : violation list;
+}
+
+(* One of four adversary families, drawn deterministically from the
+   per-execution seed. *)
+let gen_sched ~n_procs ~max_steps ~seed =
+  let g = Prng.make seed in
+  let kind, g = Prng.int g 4 in
+  let sub_seed, g = Prng.int g 0x3FFFFFFF in
+  match kind with
+  | 0 -> Schedule.random ~seed:sub_seed
+  | 1 ->
+    (* crash a random subset of processes after a few steps each *)
+    let crashes, _ =
+      List.fold_left
+        (fun (acc, g) pid ->
+          let b, g = Prng.bool g in
+          if b then
+            let steps, g = Prng.int g 8 in
+            ((pid, 1 + steps) :: acc, g)
+          else (acc, g))
+        ([], g)
+        (List.init n_procs Fun.id)
+    in
+    Schedule.with_crashes crashes (Schedule.random ~seed:sub_seed)
+  | 2 ->
+    (* an x-obstruction suffix: only a random non-empty subset runs *)
+    let procs, _ =
+      List.fold_left
+        (fun (acc, g) pid ->
+          let b, g = Prng.bool g in
+          if b then (pid :: acc, g) else (acc, g))
+        ([], g)
+        (List.init n_procs Fun.id)
+    in
+    let procs = if procs = [] then [ 0 ] else procs in
+    Schedule.among ~procs ~seed:sub_seed
+  | _ ->
+    let rec gen g k acc =
+      if k = 0 then List.rev acc
+      else
+        let pid, g = Prng.int g n_procs in
+        gen g (k - 1) (pid :: acc)
+    in
+    Schedule.script (gen g (2 * max_steps) [])
+
+let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
+  in
+  let found = Atomic.make 0 in
+  let worker lo hi =
+    let count = ref 0 in
+    let raw = ref [] in
+    let k = ref lo in
+    while !k < hi && Atomic.get found < max_violations do
+      let sched = gen_sched ~n_procs:w.n_procs ~max_steps ~seed:(seed + !k) in
+      let out = w.exec ~sched ~max_ops:max_steps ~check:true in
+      incr count;
+      if out.errors <> [] then begin
+        Atomic.incr found;
+        raw := out :: !raw
+      end;
+      incr k
+    done;
+    (!count, List.rev !raw)
+  in
+  let per = max 1 (budget / domains) in
+  let ranges =
+    List.init domains (fun d ->
+        let lo = d * per in
+        let hi = if d = domains - 1 then budget else min budget ((d + 1) * per) in
+        (lo, max lo hi))
+  in
+  let spawned =
+    match ranges with
+    | [] -> []
+    | _ :: rest ->
+      List.map
+        (fun (lo, hi) -> Domain.spawn (fun () -> worker lo hi))
+        rest
+  in
+  let first = match ranges with [] -> (0, []) | (lo, hi) :: _ -> worker lo hi in
+  let all = first :: List.map Domain.join spawned in
+  let executions = List.fold_left (fun acc (c, _) -> acc + c) 0 all in
+  let raw = List.concat_map snd all in
+  let violations =
+    List.fold_left
+      (fun acc out ->
+        if List.length acc >= max_violations then acc
+        else record_violation w ~max_steps acc out)
+      [] raw
+  in
+  { executions; domains; violations = List.rev violations }
+
+(* ---------------------------------------------------------------- *)
+(* The M-operation history (for the Wing-Gong oracle)                *)
+(* ---------------------------------------------------------------- *)
+
+type snap_op = [ `U of (int * Value.t) list | `S ]
+
+let snapshot_spec m : (Value.t array, snap_op) Linearize.spec =
+  {
+    init = Array.make m Value.Bot;
+    apply =
+      (fun st op ->
+        match op with
+        | `U updates ->
+          let st' = Array.copy st in
+          List.iter (fun (j, v) -> st'.(j) <- v) updates;
+          (st', Value.Bot)
+        | `S -> (st, Value.List (Array.to_list st)));
+  }
+
+let mop_history aug (trace : Aug.F.trace_entry list) =
+  let completed = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Aug.Bu_op { proc; ts; _ } ->
+        Hashtbl.replace completed (proc, Vts.to_array ts) ()
+      | Aug.Scan_op _ -> ())
+    (Aug.log aug);
+  let entries = ref [] in
+  List.iter
+    (function
+      | Aug.Scan_op { proc; start_idx; end_idx; view; _ } ->
+        entries :=
+          Linearize.entry ~proc ~op:`S ~inv:start_idx ~ret:end_idx
+            ~res:(Value.List (Array.to_list view))
+            ()
+          :: !entries
+      | Aug.Bu_op { proc; updates; start_idx; end_idx; result; _ } -> (
+        match result with
+        | Aug.Atomic _ ->
+          (* Lemma 11: the whole block linearizes at one point. *)
+          entries :=
+            Linearize.entry ~proc ~op:(`U updates) ~inv:start_idx ~ret:end_idx
+              ()
+            :: !entries
+        | Aug.Yield ->
+          (* Lemma 12: each Update linearizes somewhere inside the
+             interval, not necessarily together. *)
+          List.iter
+            (fun (j, v) ->
+              entries :=
+                Linearize.entry ~proc ~op:(`U [ (j, v) ]) ~inv:start_idx
+                  ~ret:end_idx ()
+                :: !entries)
+            updates))
+    (Aug.log aug);
+  (* Incomplete Block-Updates: triples were appended but the M-operation
+     never returned — pending Updates, which may take effect or not. The
+     pid's immediately preceding H.scan is its Line-2 scan, i.e. the
+     invocation point. *)
+  let last_scan = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Aug.F.trace_entry) ->
+      match e.op with
+      | Aug.Ops.Hscan -> Hashtbl.replace last_scan e.pid e.idx
+      | Aug.Ops.Happend_triples (({ Hrep.ts; _ } :: _) as triples)
+        when not (Hashtbl.mem completed (e.pid, Vts.to_array ts)) ->
+        let inv =
+          Option.value ~default:e.idx (Hashtbl.find_opt last_scan e.pid)
+        in
+        List.iter
+          (fun (tr : Hrep.triple) ->
+            entries :=
+              Linearize.entry ~proc:e.pid ~op:(`U [ (tr.comp, tr.value) ])
+                ~inv ()
+              :: !entries)
+          triples
+      | Aug.Ops.Happend_triples _ | Aug.Ops.Happend_lrecords _ -> ())
+    trace;
+  (snapshot_spec (Aug.m aug), List.rev !entries)
+
+(* ---------------------------------------------------------------- *)
+(* Augmented-snapshot workloads                                      *)
+(* ---------------------------------------------------------------- *)
+
+module Aug_target = struct
+  type exec = { aug : Aug.t; result : Aug.F.result; complete : bool }
+
+  let no_failure : exec Oracle.t =
+    {
+      Oracle.name = "no-failure";
+      on_truncated = true;
+      check =
+        (fun { result; _ } ->
+          let errs = ref [] in
+          Array.iteri
+            (fun pid st ->
+              match st with
+              | Rsim_runtime.Fiber.Failed e ->
+                errs :=
+                  Printf.sprintf "fiber %d raised %s" pid
+                    (Printexc.to_string e)
+                  :: !errs
+              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+            result.Aug.F.statuses;
+          List.rev !errs);
+    }
+
+  let spec : exec Oracle.t =
+    {
+      Oracle.name = "aug-spec";
+      on_truncated = true;
+      check =
+        (fun { aug; result; _ } ->
+          let r = Aug_spec.check aug result.Aug.F.trace in
+          if r.Aug_spec.ok then [] else r.Aug_spec.errors);
+    }
+
+  let theorem20 : exec Oracle.t =
+    {
+      Oracle.name = "theorem20";
+      on_truncated = true;
+      check =
+        (fun { aug; _ } ->
+          List.filter_map
+            (function
+              | Aug.Bu_op { proc = 0; result = Aug.Yield; ts; _ } ->
+                Some
+                  (Printf.sprintf "process 0 yielded (ts %s)" (Vts.show ts))
+              | Aug.Bu_op _ | Aug.Scan_op _ -> None)
+            (Aug.log aug));
+    }
+
+  let linearizable : exec Oracle.t =
+    {
+      Oracle.name = "linearizable";
+      on_truncated = true;
+      check =
+        (fun { aug; result; _ } ->
+          let spec, entries = mop_history aug result.Aug.F.trace in
+          if List.length entries > 16 then [] (* Wing-Gong is exponential *)
+          else if Linearize.check spec entries then []
+          else [ "no linearization of the M-operation history (Wing-Gong)" ]);
+    }
+
+  let default_oracles = [ no_failure; spec; theorem20 ]
+
+  let live_of statuses =
+    let live = ref [] in
+    Array.iteri
+      (fun pid st ->
+        match st with
+        | Rsim_runtime.Fiber.Pending -> live := pid :: !live
+        | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _ -> ())
+      statuses;
+    List.rev !live
+
+  let workload ?(oracles = default_oracles) ?inject ~name ~f ~m ~bodies () =
+    let exec ~sched ~max_ops ~check =
+      let aug = Aug.create ?inject ~f ~m () in
+      let result = Aug.F.run ~max_ops ~sched ~apply:(Aug.apply aug) (bodies aug) in
+      let live = live_of result.Aug.F.statuses in
+      let complete = live = [] in
+      let errors =
+        if not check then []
+        else
+          List.concat_map
+            (fun (o : exec Oracle.t) ->
+              if complete || o.Oracle.on_truncated then
+                List.map
+                  (fun e -> o.Oracle.name ^ ": " ^ e)
+                  (o.Oracle.check { aug; result; complete })
+              else [])
+            oracles
+      in
+      {
+        script =
+          List.map (fun (e : Aug.F.trace_entry) -> e.pid) result.Aug.F.trace;
+        live;
+        steps = result.Aug.F.total_ops;
+        errors;
+      }
+    in
+    {
+      name;
+      n_procs = f;
+      params = [ ("f", f); ("m", m) ];
+      inject = Option.map fault_to_string inject;
+      exec;
+    }
+
+  (* Deterministic pseudo-random bodies keyed on (f, m, pid): the same
+     workload name + params always produces the same programs, so scripts
+     persisted in artifacts stay replayable. *)
+  let mixed_bodies ~f ~m aug =
+    List.init f (fun pid _ ->
+        let g = ref (Prng.make (0x6d78 + (97 * pid) + (13 * f) + m)) in
+        let draw n =
+          let k, g' = Prng.int !g n in
+          g := g';
+          k
+        in
+        for _ = 1 to 3 do
+          if draw 3 = 0 then ignore (Aug.scan aug ~me:pid)
+          else begin
+            let r = 1 + draw (min m 2) in
+            let comps = ref [] in
+            while List.length !comps < r do
+              let j = draw m in
+              if not (List.mem j !comps) then comps := j :: !comps
+            done;
+            ignore
+              (Aug.block_update aug ~me:pid
+                 (List.map (fun j -> (j, Value.Int (draw 50))) !comps))
+          end
+        done)
+
+  let builtin_names = [ "bu-conflict"; "bu-scan"; "bu-then-scan"; "mixed" ]
+
+  let builtin ?inject ?oracles ~name ~f ~m () =
+    let mk bodies = Some (workload ?oracles ?inject ~name ~f ~m ~bodies ()) in
+    match name with
+    | "bu-conflict" ->
+      mk (fun aug ->
+          List.init f (fun pid _ ->
+              ignore (Aug.block_update aug ~me:pid [ (0, Value.Int (pid + 1)) ])))
+    | "bu-scan" ->
+      mk (fun aug ->
+          List.init f (fun pid _ ->
+              if pid = 0 then
+                ignore
+                  (Aug.block_update aug ~me:0
+                     (if m >= 2 then [ (0, Value.Int 1); (m - 1, Value.Int 2) ]
+                      else [ (0, Value.Int 1) ]))
+              else ignore (Aug.scan aug ~me:pid)))
+    | "bu-then-scan" ->
+      mk (fun aug ->
+          List.init f (fun pid _ ->
+              ignore
+                (Aug.block_update aug ~me:pid
+                   [ (pid mod m, Value.Int (pid + 1)) ]);
+              ignore (Aug.scan aug ~me:pid)))
+    | "mixed" -> mk (mixed_bodies ~f ~m)
+    | _ -> None
+end
+
+(* ---------------------------------------------------------------- *)
+(* Full-simulation workloads                                         *)
+(* ---------------------------------------------------------------- *)
+
+module Harness_target = struct
+  type exec = { hspec : Harness.spec; result : Harness.result; complete : bool }
+
+  let no_failure : exec Oracle.t =
+    {
+      Oracle.name = "no-failure";
+      on_truncated = true;
+      check =
+        (fun { result; _ } ->
+          let errs = ref [] in
+          Array.iteri
+            (fun pid st ->
+              match st with
+              | Rsim_runtime.Fiber.Failed e ->
+                errs :=
+                  Printf.sprintf "simulator %d raised %s" pid
+                    (Printexc.to_string e)
+                  :: !errs
+              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+            result.Harness.statuses;
+          List.rev !errs);
+    }
+
+  let aug_spec : exec Oracle.t =
+    {
+      Oracle.name = "aug-spec";
+      on_truncated = true;
+      check =
+        (fun { result; _ } ->
+          let r = Aug_spec.check result.Harness.aug result.Harness.trace in
+          if r.Aug_spec.ok then [] else r.Aug_spec.errors);
+    }
+
+  let analysis : exec Oracle.t =
+    {
+      Oracle.name = "lemma26-replay";
+      on_truncated = false;
+      check =
+        (fun { hspec; result; _ } ->
+          let r = Analysis.check hspec result in
+          if r.Analysis.ok then [] else r.Analysis.errors);
+    }
+
+  let consensus : exec Oracle.t =
+    {
+      Oracle.name = "consensus";
+      on_truncated = false;
+      check =
+        (fun { hspec; result; _ } ->
+          match Harness.validate hspec result ~task:Task.consensus with
+          | Ok () -> []
+          | Error e -> [ e ]);
+    }
+
+  let default_oracles = [ no_failure; aug_spec; analysis; consensus ]
+
+  let racing ?(oracles = default_oracles) ~n ~m ~f ~d () =
+    let exec ~sched ~max_ops ~check =
+      let hspec =
+        {
+          Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
+          n;
+          m;
+          f;
+          d;
+          inputs = List.init f (fun p -> Value.Int (p + 1));
+        }
+      in
+      let result = Harness.run ~max_ops ~sched hspec in
+      let live = ref [] in
+      Array.iteri
+        (fun pid st ->
+          match st with
+          | Rsim_runtime.Fiber.Pending -> live := pid :: !live
+          | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _ -> ())
+        result.Harness.statuses;
+      let live = List.rev !live in
+      let complete = live = [] in
+      let errors =
+        if not check then []
+        else
+          List.concat_map
+            (fun (o : exec Oracle.t) ->
+              if complete || o.Oracle.on_truncated then
+                List.map
+                  (fun e -> o.Oracle.name ^ ": " ^ e)
+                  (o.Oracle.check { hspec; result; complete })
+              else [])
+            oracles
+      in
+      {
+        script =
+          List.map
+            (fun (e : Rsim_augmented.Aug.F.trace_entry) -> e.pid)
+            result.Harness.trace;
+        live;
+        steps = result.Harness.total_ops;
+        errors;
+      }
+    in
+    {
+      name = "racing";
+      n_procs = f;
+      params = [ ("n", n); ("m", m); ("f", f); ("d", d) ];
+      inject = None;
+      exec;
+    }
+end

@@ -1,0 +1,241 @@
+(** Schedule exploration: systematic and parallel randomized model
+    checking of fiber workloads.
+
+    Every test and experiment elsewhere in this repository runs a
+    hand-picked or fixed-seed schedule through {!Rsim_runtime.Fiber.run}.
+    But the paper's claims (Lemmas 2-19, Theorem 20, Lemmas 26-32) are
+    statements over {e all} interleavings, so this module supplies the
+    missing quantifier. A {!workload} packages "build a fresh instance,
+    run its fibers under a given schedule, judge the execution with
+    oracles"; two engines drive workloads:
+
+    - {!exhaustive} enumerates {e every} schedule up to a step bound by
+      DFS over the scheduler's decision points (replaying from scratch on
+      each branch — effect continuations are one-shot), optionally
+      restricted to a preemption budget (iterative context bounding) to
+      tame the blowup;
+    - {!sweep} runs seeded randomized schedules — uniform, crashy
+      ({!Rsim_shmem.Schedule.with_crashes}), x-obstruction
+      ({!Rsim_shmem.Schedule.among}) and scripted adversaries — in
+      parallel across [Domain]s.
+
+    Any violating execution is shrunk to a (locally) minimal failing
+    schedule by greedy step removal and preemption merging, ready to be
+    persisted as a replayable JSON artifact ({!Artifact}) and re-run with
+    the [rsim replay] CLI subcommand. *)
+
+open Rsim_value
+open Rsim_shmem
+
+(** {2 Workloads and outcomes} *)
+
+(** The result of driving one execution under one schedule. *)
+type outcome = {
+  script : int list;
+      (** the pids actually scheduled, in order — a deterministic replay
+          script for {!Rsim_shmem.Schedule.script} *)
+  live : int list;  (** pids still pending when the run stopped *)
+  steps : int;  (** base-object operations executed *)
+  errors : string list;  (** oracle violations; [[]] if passing or unchecked *)
+}
+
+(** How to build a fresh instance, run its fibers, and judge the result.
+    [exec] must be re-entrant (fresh state on every call): the sweep
+    engine calls it concurrently from several [Domain]s. When [check] is
+    false the engine only needs [script]/[live]/[steps] (oracle work is
+    skipped). *)
+type workload = {
+  name : string;
+  n_procs : int;
+  params : (string * int) list;
+      (** enough to rebuild the workload when replaying an artifact *)
+  inject : string option;  (** seeded fault, if any (see {!Aug_target}) *)
+  exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
+}
+
+type violation = {
+  script : int list;  (** minimal failing schedule, after shrinking *)
+  original : int list;  (** the schedule as first caught *)
+  errors : string list;
+}
+
+(** {2 Engines} *)
+
+type exhaustive_report = {
+  complete : int;  (** executions in which every fiber finished *)
+  truncated : int;  (** executions cut off by the step bound *)
+  prefixes : int;  (** schedule prefixes replayed during the DFS *)
+  violations : violation list;
+}
+
+(** [exhaustive w] explores every schedule of [w] whose length is at most
+    [max_steps] (default 64). Oracles run on every maximal execution —
+    complete or truncated (subject to each oracle's [on_truncated]).
+    [preemption_bound], if given, only explores schedules with at most
+    that many preemptions (a context switch away from a fiber that could
+    still run); bound 0 explores exactly the non-preemptive schedules.
+    Stops after [max_violations] (default 1) distinct shrunk
+    counterexamples. *)
+val exhaustive :
+  ?max_steps:int ->
+  ?preemption_bound:int ->
+  ?max_violations:int ->
+  workload ->
+  exhaustive_report
+
+type sweep_report = {
+  executions : int;  (** schedules actually executed *)
+  domains : int;  (** parallel workers used *)
+  violations : violation list;
+}
+
+(** [sweep ~budget ~seed w] runs [budget] seeded randomized schedules
+    split across [domains] parallel [Domain]s (default:
+    [min 4 (recommended_domain_count - 1)], at least 1). Schedule
+    families are drawn deterministically from the per-execution seed:
+    uniform random, random-with-crashes, x-obstruction suffixes
+    ([Schedule.among]) and random scripts. Executions are capped at
+    [max_steps] (default 200) operations. Violations are shrunk and
+    deduplicated in the calling domain; workers stop early once
+    [max_violations] (default 1) have been found. *)
+val sweep :
+  ?domains:int ->
+  ?max_steps:int ->
+  ?max_violations:int ->
+  budget:int ->
+  seed:int ->
+  workload ->
+  sweep_report
+
+(** Re-run one schedule script deterministically, with oracles on. *)
+val replay : workload -> max_steps:int -> script:int list -> outcome
+
+(** Greedy shrinking: repeatedly delete single steps, then merge separated
+    same-pid blocks (removing preemptions), as long as the script keeps
+    failing. Returns the input unchanged if it does not fail. *)
+val shrink : workload -> max_steps:int -> script:int list -> int list
+
+(** {2 Oracles} *)
+
+module Oracle : sig
+  type 'exec t = {
+    name : string;
+    on_truncated : bool;
+        (** also judge executions in which some fiber never finished *)
+    check : 'exec -> string list;  (** [[]] = pass *)
+  }
+end
+
+(** Fault injection names, as persisted in artifacts:
+    ["skip-yield-check"] and ["yield-on-higher"]. *)
+val fault_to_string : Rsim_augmented.Aug.fault -> string
+
+val fault_of_string : string -> Rsim_augmented.Aug.fault option
+
+(** {2 Augmented-snapshot workloads} *)
+
+module Aug_target : sig
+  type exec = {
+    aug : Rsim_augmented.Aug.t;
+    result : Rsim_augmented.Aug.F.result;
+    complete : bool;  (** no fiber was still pending *)
+  }
+
+  (** No fiber raised. *)
+  val no_failure : exec Oracle.t
+
+  (** The full §3 executable specification, {!Rsim_augmented.Aug_spec.check}. *)
+  val spec : exec Oracle.t
+
+  (** Theorem 20's headline consequence: process 0 never yields. *)
+  val theorem20 : exec Oracle.t
+
+  (** Wing-Gong linearizability ({!Rsim_shmem.Linearize.check}) of the
+      M-operation history against a sequential [m]-component snapshot:
+      atomic Block-Updates as one multi-component update, yielding ones
+      as independent single-component updates, Updates of incomplete
+      Block-Updates as pending operations (they may take effect or be
+      dropped). Skipped for histories longer than 16 operations (the
+      search is exponential). *)
+  val linearizable : exec Oracle.t
+
+  (** [[no_failure; spec; theorem20]]. *)
+  val default_oracles : exec Oracle.t list
+
+  (** Build a workload over a fresh augmented snapshot per execution.
+      [bodies aug] must build fresh fiber bodies (one per pid, [f] of
+      them) on every call. *)
+  val workload :
+    ?oracles:exec Oracle.t list ->
+    ?inject:Rsim_augmented.Aug.fault ->
+    name:string ->
+    f:int ->
+    m:int ->
+    bodies:(Rsim_augmented.Aug.t -> (int -> unit) list) ->
+    unit ->
+    workload
+
+  (** Named workloads, usable from the CLI and rebuildable from
+      artifacts: ["bu-conflict"] (every process Block-Updates component
+      0), ["bu-scan"] (process 0 Block-Updates, the rest Scan),
+      ["bu-then-scan"] (every process Block-Updates then Scans), and
+      ["mixed"] (a deterministic pseudo-random mix keyed on [f], [m]).
+      Returns [None] for an unknown name. *)
+  val builtin :
+    ?inject:Rsim_augmented.Aug.fault ->
+    ?oracles:exec Oracle.t list ->
+    name:string ->
+    f:int ->
+    m:int ->
+    unit ->
+    workload option
+
+  val builtin_names : string list
+end
+
+(** {2 Full-simulation workloads} *)
+
+module Harness_target : sig
+  type exec = {
+    hspec : Rsim_simulation.Harness.spec;
+    result : Rsim_simulation.Harness.result;
+    complete : bool;
+  }
+
+  val no_failure : exec Oracle.t
+
+  (** {!Rsim_augmented.Aug_spec.check} on the run's augmented snapshot. *)
+  val aug_spec : exec Oracle.t
+
+  (** The Lemma 26 replay, {!Rsim_simulation.Analysis.check}
+      (complete runs only). *)
+  val analysis : exec Oracle.t
+
+  (** Simulators' outputs solve consensus (complete runs only). *)
+  val consensus : exec Oracle.t
+
+  val default_oracles : exec Oracle.t list
+
+  (** The racing-consensus simulation of Theorem 21, explorable: [f]
+      simulators ([d] of them direct) over an [m]-component augmented
+      snapshot, simulating [n] processes. Workload name ["racing"]. *)
+  val racing :
+    ?oracles:exec Oracle.t list ->
+    n:int ->
+    m:int ->
+    f:int ->
+    d:int ->
+    unit ->
+    workload
+end
+
+(**/**)
+
+(** Exposed for the crash-fault tests: the Wing-Gong history of
+    M-operations of an execution, including pending entries for
+    incomplete Block-Updates. *)
+val mop_history :
+  Rsim_augmented.Aug.t ->
+  Rsim_augmented.Aug.F.trace_entry list ->
+  (Value.t array, [ `U of (int * Value.t) list | `S ]) Linearize.spec
+  * [ `U of (int * Value.t) list | `S ] Linearize.entry list

@@ -39,15 +39,20 @@ let linearization spec entries =
     | _ ->
       let candidates = List.filter (minimal remaining) remaining in
       let try_take e =
-        let st', res = spec.apply st e.op in
-        let response_ok =
-          match (e.ret, e.res) with
-          | Some _, Some observed -> Value.equal observed res
-          | Some _, None -> true
-          | None, _ -> true (* pending: any response is acceptable *)
-        in
-        if response_ok then search st' (remove_phys e remaining) (e :: acc)
-        else None
+        (* A raising [apply] means the operation is not applicable in this
+           state; the search must linearize it elsewhere (or, if pending,
+           drop it). *)
+        match spec.apply st e.op with
+        | exception _ -> None
+        | st', res ->
+          let response_ok =
+            match (e.ret, e.res) with
+            | Some _, Some observed -> Value.equal observed res
+            | Some _, None -> true
+            | None, _ -> true (* pending: any response is acceptable *)
+          in
+          if response_ok then search st' (remove_phys e remaining) (e :: acc)
+          else None
       in
       let try_drop e =
         (* Pending operations may never have taken effect. *)

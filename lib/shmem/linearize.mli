@@ -22,6 +22,11 @@ type 'op entry = {
   res : Value.t option;  (** observed response, for complete operations *)
 }
 
+(** [apply] may raise to signal that an operation is not applicable in a
+    state (a partial sequential spec, e.g. popping an empty stack): the
+    search then cannot linearize the operation at that point. In
+    particular a pending operation whose [apply] raises everywhere it
+    could be placed must be dropped. *)
 type ('st, 'op) spec = {
   init : 'st;
   apply : 'st -> 'op -> 'st * Value.t;

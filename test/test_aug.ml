@@ -301,6 +301,68 @@ let prop_random_workloads =
         QCheck.Test.fail_reportf "spec violations: %a" Aug_spec.pp_report report
       else true)
 
+let prop_scripted_schedules =
+  (* Arbitrary fixed pid scripts — including starving, truncating ones:
+     the spec must hold on whatever prefix of the execution ran. *)
+  QCheck.Test.make ~name:"random scripted schedules satisfy the §3 spec"
+    ~count:40
+    QCheck.(triple (int_bound 10_000) (int_range 1 4) (int_range 1 4))
+    (fun (seed, f, m) ->
+      let g = ref (Prng.make (seed + 77)) in
+      let draw n =
+        let k, g' = Prng.int !g n in
+        g := g';
+        k
+      in
+      let script = List.init (10 + draw (30 * f)) (fun _ -> draw f) in
+      let aug = Aug.create ~f ~m () in
+      let result =
+        Aug.F.run ~max_ops:20_000
+          ~sched:(Schedule.script script)
+          ~apply:(Aug.apply aug)
+          (List.init f (fun _ -> random_body ~aug ~m ~n_ops:3 ~seed))
+      in
+      let report = Aug_spec.check aug result.trace in
+      if not report.Aug_spec.ok then
+        QCheck.Test.fail_reportf "script [%s]: spec violations: %a"
+          (String.concat ";" (List.map string_of_int script))
+          Aug_spec.pp_report report
+      else true)
+
+let prop_crashy_schedules =
+  (* Crash-prone adversaries: each process may be killed after a random
+     number of steps, possibly mid-Block-Update. The surviving
+     operations must still satisfy the spec (Corollary 15 included). *)
+  QCheck.Test.make ~name:"random crashy schedules satisfy the §3 spec"
+    ~count:40
+    QCheck.(triple (int_bound 10_000) (int_range 1 4) (int_range 1 4))
+    (fun (seed, f, m) ->
+      let g = ref (Prng.make (seed + 333)) in
+      let draw n =
+        let k, g' = Prng.int !g n in
+        g := g';
+        k
+      in
+      let crashes =
+        List.filter_map
+          (fun pid -> if draw 2 = 0 then Some (pid, 1 + draw 12) else None)
+          (List.init f Fun.id)
+      in
+      let aug = Aug.create ~f ~m () in
+      let result =
+        Aug.F.run ~max_ops:20_000
+          ~sched:(Schedule.with_crashes crashes (Schedule.random ~seed))
+          ~apply:(Aug.apply aug)
+          (List.init f (fun _ -> random_body ~aug ~m ~n_ops:4 ~seed))
+      in
+      let report = Aug_spec.check aug result.trace in
+      if not report.Aug_spec.ok then
+        QCheck.Test.fail_reportf "crashes [%s]: spec violations: %a"
+          (String.concat ";"
+             (List.map (fun (p, k) -> Printf.sprintf "%d@%d" p k) crashes))
+          Aug_spec.pp_report report
+      else true)
+
 let prop_deterministic =
   QCheck.Test.make ~name:"aug executions deterministic in the seed" ~count:20
     QCheck.(int_bound 10_000)
@@ -389,5 +451,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_workloads; prop_deterministic ] );
+          [
+            prop_random_workloads;
+            prop_scripted_schedules;
+            prop_crashy_schedules;
+            prop_deterministic;
+          ] );
     ]

@@ -1,0 +1,297 @@
+open Rsim_value
+open Rsim_shmem
+open Rsim_augmented
+open Rsim_explore
+
+let get_builtin ?inject ?oracles name ~f ~m =
+  match Explore.Aug_target.builtin ?inject ?oracles ~name ~f ~m () with
+  | Some w -> w
+  | None -> Alcotest.failf "unknown builtin workload %s" name
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let any_error ~sub (errors : string list) = List.exists (contains ~sub) errors
+
+(* ---- exhaustive: Theorem 20 over ALL schedules ---- *)
+
+let test_theorem20_exhaustive () =
+  (* The acceptance check of the explorer: every schedule of two
+     conflicting Block-Updates (f=2, m=2) up to 10 steps satisfies the
+     full §3 spec — in particular Theorem 20: process 0 never yields. *)
+  let w = get_builtin "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:10 w in
+  Alcotest.(check (list (list int)))
+    "no violations over all schedules" []
+    (List.map (fun v -> v.Explore.script) rep.Explore.violations);
+  Alcotest.(check bool)
+    (Printf.sprintf "substantial coverage (%d executions, %d prefixes)"
+       (rep.Explore.complete + rep.Explore.truncated)
+       rep.Explore.prefixes)
+    true
+    (rep.Explore.complete + rep.Explore.truncated >= 500
+    && rep.Explore.prefixes >= 1000)
+
+let test_exhaustive_completes_at_12 () =
+  (* At 12 steps both Block-Updates can finish (6 H-operations each), so
+     the DFS must report complete executions — still violation-free. *)
+  let w = get_builtin "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:12 w in
+  Alcotest.(check int) "no violations" 0 (List.length rep.Explore.violations);
+  Alcotest.(check bool) "some executions complete" true (rep.Explore.complete > 0)
+
+let test_preemption_bound () =
+  (* Context bounding: bound 0 explores only non-preemptive schedules, a
+     tiny violation-free fragment of the full space. *)
+  let w = get_builtin "bu-conflict" ~f:2 ~m:2 in
+  let full = Explore.exhaustive ~max_steps:12 w in
+  let np = Explore.exhaustive ~max_steps:12 ~preemption_bound:0 w in
+  Alcotest.(check int) "no violations" 0 (List.length np.Explore.violations);
+  Alcotest.(check bool) "bound-0 explores something" true (np.Explore.complete > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "bound 0 is a strict fragment (%d < %d prefixes)"
+       np.Explore.prefixes full.Explore.prefixes)
+    true
+    (np.Explore.prefixes < full.Explore.prefixes)
+
+(* ---- seeded bugs: the checker must catch, shrink, persist, replay ---- *)
+
+let test_seeded_yield_on_higher () =
+  (* Mutating Line 9 of Algorithm 4 to yield on HIGHER-identifier
+     updates breaks Theorem 20 (process 0 now yields). The explorer must
+     catch it, and the shrunk counterexample must be 1-minimal: removing
+     any single step makes the script pass again. *)
+  let w = get_builtin ~inject:Aug.Yield_on_higher "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:12 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "seeded yield-on-higher bug was not caught"
+  | v :: _ ->
+    Alcotest.(check bool) "errors blame Theorem 20" true
+      (any_error ~sub:"Theorem 20" v.Explore.errors
+      || any_error ~sub:"theorem20" v.Explore.errors);
+    Alcotest.(check bool) "shrunk no longer than original" true
+      (List.length v.Explore.script <= List.length v.Explore.original);
+    let replayed = Explore.replay w ~max_steps:12 ~script:v.Explore.script in
+    Alcotest.(check bool) "shrunk script still fails" true
+      (replayed.Explore.errors <> []);
+    List.iteri
+      (fun i _ ->
+        let script = List.filteri (fun j _ -> j <> i) v.Explore.script in
+        let out = Explore.replay w ~max_steps:12 ~script in
+        Alcotest.(check (list string))
+          (Printf.sprintf "dropping step %d makes it pass (1-minimal)" i)
+          [] out.Explore.errors)
+      v.Explore.script
+
+let test_seeded_bug_artifact_roundtrip () =
+  (* The full pipeline of the issue's acceptance criterion: catch the
+     seeded bug, persist the shrunk counterexample as a JSON artifact,
+     reload it from disk, rebuild the workload (including the injected
+     fault), and reproduce the violation from the artifact alone. *)
+  let w = get_builtin ~inject:Aug.Yield_on_higher "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:12 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "seeded bug not caught"
+  | v :: _ -> (
+    let art = Artifact.of_violation ~workload:w ~max_steps:12 v in
+    let path = Filename.temp_file "rsim-cex" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Artifact.save ~path art;
+        match Artifact.load ~path with
+        | Error e -> Alcotest.failf "artifact failed to load: %s" e
+        | Ok art' -> (
+          Alcotest.(check (list int)) "script survives the round trip"
+            art.Artifact.script art'.Artifact.script;
+          Alcotest.(check (option string)) "fault survives the round trip"
+            (Some "yield-on-higher") art'.Artifact.inject;
+          match Artifact.to_workload art' with
+          | Error e -> Alcotest.failf "artifact failed to rebuild: %s" e
+          | Ok w' ->
+            let out =
+              Explore.replay w' ~max_steps:art'.Artifact.max_steps
+                ~script:art'.Artifact.script
+            in
+            Alcotest.(check bool) "replay from artifact reproduces" true
+              (out.Explore.errors <> []);
+            Alcotest.(check bool) "replay blames Theorem 20" true
+              (any_error ~sub:"Theorem 20" out.Explore.errors
+              || any_error ~sub:"theorem20" out.Explore.errors))))
+
+let test_seeded_skip_yield_check () =
+  (* Skipping Line 9 entirely lets a Block-Update return a stale view
+     under contention; the window lemmas (16-19) or Lemma 11 must flag
+     it once both conflicting Block-Updates can complete (12 steps). *)
+  let w = get_builtin ~inject:Aug.Skip_yield_check "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:12 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "seeded skip-yield-check bug was not caught"
+  | v :: _ ->
+    Alcotest.(check bool) "errors blame a lemma" true
+      (any_error ~sub:"Lemma" v.Explore.errors)
+
+let test_json_roundtrip_is_identity () =
+  let art =
+    {
+      Artifact.workload = "bu-scan";
+      params = [ ("f", 3); ("m", 2) ];
+      inject = None;
+      max_steps = 40;
+      errors = [ "spec: \"quoted\" error\nwith a newline"; "plain" ];
+      original = [ 0; 1; 2; 1; 0 ];
+      script = [ 1; 0 ];
+    }
+  in
+  match Artifact.of_json (Artifact.to_json art) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok art' ->
+    Alcotest.(check bool) "write/parse is the identity" true (art = art')
+
+(* ---- parallel randomized sweeps ---- *)
+
+let test_sweep_clean () =
+  let w = get_builtin "mixed" ~f:3 ~m:2 in
+  let rep = Explore.sweep ~domains:2 ~max_steps:200 ~budget:200 ~seed:5 w in
+  Alcotest.(check int) "no violations" 0 (List.length rep.Explore.violations);
+  Alcotest.(check int) "whole budget executed" 200 rep.Explore.executions;
+  Alcotest.(check int) "ran on 2 domains" 2 rep.Explore.domains
+
+let test_sweep_finds_seeded_bug () =
+  let w = get_builtin ~inject:Aug.Yield_on_higher "bu-conflict" ~f:3 ~m:2 in
+  let rep = Explore.sweep ~domains:2 ~max_steps:100 ~budget:500 ~seed:1 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "sweep missed the seeded bug"
+  | v :: _ ->
+    Alcotest.(check bool) "errors blame Theorem 20" true
+      (any_error ~sub:"Theorem 20" v.Explore.errors
+      || any_error ~sub:"theorem20" v.Explore.errors);
+    let out = Explore.replay w ~max_steps:100 ~script:v.Explore.script in
+    Alcotest.(check bool) "shrunk sweep counterexample replays" true
+      (out.Explore.errors <> [])
+
+(* ---- crash faults: Corollary 15 for the survivors ---- *)
+
+(* q1 starts a Block-Update of component 0 and crashes after
+   [crash_after] H-operations (with_crashes removes it from the live
+   set); q0 then Scans. Step 1 of the Block-Update is its Line-2 scan,
+   step 2 the Line-4 append of the timestamped triples (the paper's X):
+   crashing before X hides the update, crashing after exposes it. *)
+let crash_run ~crash_after =
+  let seen = ref [||] in
+  let aug = Aug.create ~f:2 ~m:2 () in
+  let sched =
+    Schedule.with_crashes
+      [ (1, crash_after) ]
+      (Schedule.script (List.init 6 (fun _ -> 1) @ List.init 12 (fun _ -> 0)))
+  in
+  let result =
+    Aug.F.run ~sched ~apply:(Aug.apply aug)
+      [
+        (fun _ -> seen := Aug.scan aug ~me:0);
+        (fun _ -> ignore (Aug.block_update aug ~me:1 [ (0, Value.Int 42) ]));
+      ]
+  in
+  Alcotest.(check bool) "q1 crashed mid-operation" true
+    (result.Aug.F.statuses.(1) = Rsim_runtime.Fiber.Pending);
+  Alcotest.(check bool) "q0 survived" true
+    (result.Aug.F.statuses.(0) = Rsim_runtime.Fiber.Done);
+  (aug, result, !seen)
+
+let check_crash_spec name aug (result : Aug.F.result) =
+  (* The survivor's Scans must satisfy the spec — Corollary 15 in
+     particular: every pair of views is comparable, later scans dominate
+     earlier ones — even with a crashed Block-Update in the history. *)
+  let report = Aug_spec.check aug result.Aug.F.trace in
+  if not report.Aug_spec.ok then
+    Alcotest.failf "%s: spec violations on crashy run:@.%a" name
+      Aug_spec.pp_report report
+
+let test_crash_before_x () =
+  let aug, result, seen = crash_run ~crash_after:1 in
+  Alcotest.(check bool) "update invisible before X" true (Value.is_bot seen.(0));
+  check_crash_spec "crash pre-X" aug result;
+  let spec, entries = Explore.mop_history aug result.Aug.F.trace in
+  Alcotest.(check bool) "pending update droppable: history linearizable" true
+    (Linearize.check spec entries)
+
+let test_crash_after_x () =
+  let aug, result, seen = crash_run ~crash_after:2 in
+  Alcotest.(check bool) "update visible after X" true
+    (Value.equal seen.(0) (Value.Int 42));
+  check_crash_spec "crash post-X" aug result;
+  let spec, entries = Explore.mop_history aug result.Aug.F.trace in
+  Alcotest.(check bool) "crashed Block-Update left a pending entry" true
+    (List.exists (fun (e : _ Linearize.entry) -> e.Linearize.ret = None) entries);
+  Alcotest.(check bool) "pending update takes effect: history linearizable" true
+    (Linearize.check spec entries)
+
+let test_crash_spec_across_cutoffs () =
+  (* Crash q1 at every point of its Block-Update: the survivor's view of
+     the world must satisfy the spec at each cutoff. *)
+  for crash_after = 1 to 5 do
+    let aug, result, _ = crash_run ~crash_after in
+    check_crash_spec (Printf.sprintf "crash after %d" crash_after) aug result
+  done
+
+(* ---- linearizable oracle over full explorations ---- *)
+
+let test_linearizable_oracle_exhaustive () =
+  (* Check Wing-Gong linearizability of the M-operation history on every
+     schedule (complete or truncated) of BU-vs-Scan. *)
+  let w =
+    get_builtin
+      ~oracles:[ Explore.Aug_target.no_failure; Explore.Aug_target.linearizable ]
+      "bu-scan" ~f:2 ~m:2
+  in
+  let rep = Explore.exhaustive ~max_steps:9 w in
+  Alcotest.(check int) "all histories linearizable" 0
+    (List.length rep.Explore.violations);
+  Alcotest.(check bool) "covered executions" true
+    (rep.Explore.complete + rep.Explore.truncated > 50)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "exhaustive",
+        [
+          Alcotest.test_case "Theorem 20 over all schedules" `Quick
+            test_theorem20_exhaustive;
+          Alcotest.test_case "complete executions at 12 steps" `Quick
+            test_exhaustive_completes_at_12;
+          Alcotest.test_case "preemption bounding" `Quick test_preemption_bound;
+        ] );
+      ( "seeded bugs",
+        [
+          Alcotest.test_case "yield-on-higher caught + 1-minimal shrink" `Quick
+            test_seeded_yield_on_higher;
+          Alcotest.test_case "artifact save/load/replay" `Quick
+            test_seeded_bug_artifact_roundtrip;
+          Alcotest.test_case "skip-yield-check caught" `Quick
+            test_seeded_skip_yield_check;
+          Alcotest.test_case "artifact JSON round trip" `Quick
+            test_json_roundtrip_is_identity;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "clean workload, clean sweep" `Quick test_sweep_clean;
+          Alcotest.test_case "sweep finds seeded bug" `Quick
+            test_sweep_finds_seeded_bug;
+        ] );
+      ( "crash faults",
+        [
+          Alcotest.test_case "crash before X hides the update" `Quick
+            test_crash_before_x;
+          Alcotest.test_case "crash after X exposes the update" `Quick
+            test_crash_after_x;
+          Alcotest.test_case "spec holds at every cutoff" `Quick
+            test_crash_spec_across_cutoffs;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "BU vs Scan histories" `Quick
+            test_linearizable_oracle_exhaustive;
+        ] );
+    ]

@@ -147,6 +147,55 @@ let test_snapshot_history () =
   Alcotest.(check bool) "stale snapshot rejected" false
     (Linearize.check (snap_spec 2) bad)
 
+(* Partial sequential spec: a stack whose pop is not applicable on an
+   empty stack ([apply] raises). Exercises the checker's handling of
+   operations that are inapplicable at a linearization point — pending
+   ops must then be droppable rather than wedge the search. *)
+type stack_op = Push of int | Pop
+
+let stack_spec : (int list, stack_op) Linearize.spec =
+  {
+    init = [];
+    apply =
+      (fun st op ->
+        match (op, st) with
+        | Push v, _ -> (v :: st, Value.Bot)
+        | Pop, v :: st' -> (st', Value.Int v)
+        | Pop, [] -> failwith "pop on empty stack");
+  }
+
+let test_pending_must_be_dropped () =
+  (* push 1; pop -> 1; then a pending pop invoked after the stack is
+     empty again. No extension can linearize that pop (it is never
+     applicable), so the history is linearizable only because a pending
+     operation may also be DROPPED. Regression: the checker used to let
+     [apply] exceptions escape instead of treating the op as
+     non-linearizable at that point. *)
+  let h =
+    [
+      e ~proc:0 ~op:(Push 1) ~inv:0 ~ret:1 ();
+      e ~proc:0 ~op:Pop ~inv:2 ~ret:3 ~res:(Value.Int 1) ();
+      e ~proc:1 ~op:Pop ~inv:4 ();
+    ]
+  in
+  Alcotest.(check bool) "inapplicable pending pop dropped" true
+    (Linearize.check stack_spec h)
+
+let test_partial_spec_rejects_completed () =
+  (* A COMPLETED pop on a forever-empty stack can never linearize. *)
+  let h = [ e ~proc:0 ~op:Pop ~inv:0 ~ret:1 ~res:(Value.Int 1) () ] in
+  Alcotest.(check bool) "completed pop on empty rejected" false
+    (Linearize.check stack_spec h);
+  (* ... but with a concurrent pending push it can. *)
+  let h' =
+    [
+      e ~proc:1 ~op:(Push 1) ~inv:0 ();
+      e ~proc:0 ~op:Pop ~inv:1 ~ret:2 ~res:(Value.Int 1) ();
+    ]
+  in
+  Alcotest.(check bool) "pop justified by pending push" true
+    (Linearize.check stack_spec h')
+
 (* qcheck: histories generated from an actual sequential execution are
    always linearizable. *)
 let prop_generated_histories_linearizable =
@@ -194,6 +243,13 @@ let () =
           Alcotest.test_case "entry validation" `Quick test_entry_validation;
         ] );
       ("snapshot", [ Alcotest.test_case "histories" `Quick test_snapshot_history ]);
+      ( "partial specs",
+        [
+          Alcotest.test_case "pending must be dropped" `Quick
+            test_pending_must_be_dropped;
+          Alcotest.test_case "inapplicable completed op" `Quick
+            test_partial_spec_rejects_completed;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_generated_histories_linearizable ]
       );
