@@ -108,6 +108,37 @@ let explore_sweep_4d =
   Test.make ~name:"explore/sweep 64 scheds 4 domains"
     (stage (fun () -> Explore.sweep ~domains:4 ~max_steps:40 ~budget:64 ~seed:21 w))
 
+(* Fault-plane overhead: the same two conflicting Block-Updates run with
+   no control hook at all, with the hook installed but an empty fault
+   plan (the faults-off cost every supervised run now pays per
+   H-operation), and with a real injected crash. The first two should be
+   indistinguishable. *)
+let bu_run ?control () =
+  let aug = Aug.create ~f:2 ~m:2 () in
+  Aug.F.run ?control ~sched:Schedule.round_robin ~apply:(Aug.apply aug)
+    [
+      (fun _ -> ignore (Aug.block_update aug ~me:0 [ (0, Value.Int 1) ]));
+      (fun _ -> ignore (Aug.block_update aug ~me:1 [ (1, Value.Int 2) ]));
+    ]
+
+let faults_no_hook =
+  Test.make ~name:"faults/bu-run no hook" (stage (fun () -> bu_run ()))
+
+let faults_empty_plan =
+  Test.make ~name:"faults/bu-run empty plan (off)"
+    (stage (fun () ->
+         let plan = Faults.plan ~adapter:Aug.fault_adapter [] in
+         bu_run ~control:(Faults.control plan) ()))
+
+let faults_crash =
+  let specs =
+    match Faults.of_string "crash@1:3" with Ok s -> s | Error _ -> assert false
+  in
+  Test.make ~name:"faults/bu-run crash@1:3"
+    (stage (fun () ->
+         let plan = Faults.plan ~adapter:Aug.fault_adapter specs in
+         bu_run ~control:(Faults.control plan) ()))
+
 let substrate_regsnap =
   Test.make ~name:"substrate/regsnap scan f=3"
     (stage (fun () ->
@@ -142,6 +173,9 @@ let tests =
     explore_exhaustive;
     explore_sweep_1d;
     explore_sweep_4d;
+    faults_no_hook;
+    faults_empty_plan;
+    faults_crash;
     substrate_regsnap;
     substrate_sperner;
   ]

@@ -61,7 +61,7 @@ let simulate_cmd =
       result.Harness.outputs;
     (match Harness.validate spec result ~task:Task.consensus with
     | Ok () -> print_endline "consensus: valid"
-    | Error e -> Printf.printf "consensus: VIOLATED (%s)\n" e);
+    | Error e -> Printf.printf "consensus: VIOLATED (%s)\n" (Harness.explain e));
     if trace then Trace_pp.pp_run Format.std_formatter spec result;
     if check then begin
       let aug_rep = Aug_spec.check result.Harness.aug result.Harness.trace in
@@ -243,25 +243,32 @@ let save_violations ~out ~workload ~max_steps violations =
           path path)
       violations
 
-let build_workload ~workload ~f ~m ~n ~d ~inject =
+let build_workload ~workload ~f ~m ~n ~d ~inject ~faults ~seed =
   let inject =
     match inject with
     | None -> Ok None
     | Some s -> (
       match Explore.fault_of_string s with
       | Some fault -> Ok (Some fault)
-      | None -> Error (Printf.sprintf "unknown fault %S" s))
+      | None -> Error (Printf.sprintf "unknown seeded bug %S" s))
   in
-  match inject with
-  | Error e -> Error e
-  | Ok inject -> (
+  let faults =
+    (* a named family (crashy, ...) draws its specs from (f, seed), so
+       the same command line always injects the same faults *)
+    match faults with
+    | None -> Ok []
+    | Some s -> Faults.resolve ~n_procs:f ~seed s
+  in
+  match (inject, faults) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok inject, Ok faults -> (
     match workload with
     | "racing" ->
       if inject <> None then
         Error "--inject applies to augmented-snapshot workloads only"
-      else Ok (Explore.Harness_target.racing ~n ~m ~f ~d ())
+      else Ok (Explore.Harness_target.racing ~faults ~n ~m ~f ~d ())
     | name -> (
-      match Explore.Aug_target.builtin ?inject ~name ~f ~m () with
+      match Explore.Aug_target.builtin ?inject ~faults ~name ~f ~m () with
       | Some w -> Ok w
       | None ->
         Error
@@ -318,7 +325,19 @@ let explore_cmd =
       value
       & opt (some string) None
       & info [ "inject" ]
-          ~doc:"Seed a fault: skip-yield-check or yield-on-higher.")
+          ~doc:
+            "Seed a bug: skip-yield-check, yield-on-higher or spin-on-yield.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PROFILE"
+          ~doc:
+            "Fault-plane profile: a named family (crashy, stally, restarting, \
+             chaos — drawn deterministically from --f and --seed) or a literal \
+             profile like 'crash\\@1:3,stall\\@0:2*4'. Crashed processes lose \
+             their local state; shared memory persists.")
   in
   let max_violations =
     Arg.(
@@ -332,12 +351,15 @@ let explore_cmd =
       & info [ "out" ] ~docv:"PATH" ~doc:"Save counterexample artifacts here.")
   in
   let run workload f m n d mode max_steps preemption_bound budget domains seed
-      inject max_violations out =
-    match build_workload ~workload ~f ~m ~n ~d ~inject with
+      inject faults max_violations out =
+    match build_workload ~workload ~f ~m ~n ~d ~inject ~faults ~seed with
     | Error e ->
       prerr_endline ("rsim explore: " ^ e);
       exit 2
     | Ok w -> (
+      (match w.Explore.faults with
+      | None -> ()
+      | Some profile -> Printf.printf "fault profile: %s\n" profile);
       match mode with
       | `Exhaustive ->
         let max_steps = if max_steps = 0 then 12 else max_steps in
@@ -377,7 +399,7 @@ let explore_cmd =
           parallel randomized sweeps, with shrinking and replayable artifacts.")
     Term.(
       const run $ workload $ f $ m $ n $ d $ mode $ max_steps $ preemption_bound
-      $ budget $ domains $ seed $ inject $ max_violations $ out)
+      $ budget $ domains $ seed $ inject $ faults $ max_violations $ out)
 
 (* ---------------- replay ---------------- *)
 
@@ -399,11 +421,14 @@ let replay_cmd =
         prerr_endline ("rsim replay: " ^ e);
         exit 2
       | Ok w ->
-        Printf.printf "replaying %s%s (%d-step script) from %s\n"
+        Printf.printf "replaying %s%s%s (%d-step script) from %s\n"
           art.Artifact.workload
           (match art.Artifact.inject with
           | None -> ""
-          | Some s -> Printf.sprintf " [injected fault: %s]" s)
+          | Some s -> Printf.sprintf " [seeded bug: %s]" s)
+          (match art.Artifact.faults with
+          | None -> ""
+          | Some s -> Printf.sprintf " [faults: %s]" s)
           (List.length art.Artifact.script)
           path;
         let out =
@@ -421,7 +446,11 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Re-run a saved counterexample artifact and confirm it still fails.")
+       ~doc:
+         "Re-run a saved counterexample artifact and confirm it still fails. \
+          Exits 0 if the violation is reproduced, 1 if the script now passes, \
+          and 2 if the artifact cannot be read or rebuilt (unknown workload, \
+          bad fault profile, or a newer schema version).")
     Term.(const run $ path)
 
 (* ---------------- experiments ---------------- *)

@@ -16,7 +16,7 @@ let () =
     (String.concat "," (Array.to_list (Array.map string_of_int r.Harness.bu_counts)));
   (match Harness.validate spec r ~task:Rsim_tasks.Task.consensus with
    | Ok () -> print_endline "consensus OK"
-   | Error e -> Printf.printf "violation: %s\n" e);
+   | Error e -> Printf.printf "violation: %s\n" (Harness.explain e));
   (* f=2: 2 covering simulators, m=2, n=4 racing (broken protocol regime) *)
   let spec2 = {
     Harness.protocol = (fun pid input -> (Rsim_protocols.Racing.protocol ~m:2 ()) pid input);
@@ -31,7 +31,7 @@ let () =
       (String.concat "," (Array.to_list (Array.map string_of_int r2.Harness.bu_counts)));
     (match Harness.validate spec2 r2 ~task:Rsim_tasks.Task.consensus with
      | Ok () -> print_endline "consensus OK"
-     | Error e -> Printf.printf "VIOLATION: %s\n" e);
+     | Error e -> Printf.printf "VIOLATION: %s\n" (Harness.explain e));
     (* check the aug spec on the run *)
     let report = Rsim_augmented.Aug_spec.check r2.Harness.aug r2.Harness.trace in
     if not report.Rsim_augmented.Aug_spec.ok then

@@ -37,7 +37,7 @@ let () =
     let result = Harness.run ~sched:(Schedule.random ~seed) spec in
     match Harness.validate spec result ~task:(Task.kset ~k) with
     | Ok () -> incr ok
-    | Error e -> Printf.printf "seed %d: %s\n" seed e
+    | Error e -> Printf.printf "seed %d: %s\n" seed (Harness.explain e)
   done;
   Printf.printf "valid %d-set agreement among the simulators in %d/%d runs.\n\n" k
     !ok runs;

@@ -15,6 +15,28 @@ end
 
 module F = Rsim_runtime.Fiber.Make (Ops)
 
+(* How the generic fault plane drops or corrupts H operations: a dropped
+   write appends nothing (the writer still sees Ack and believes it
+   succeeded); a corrupted write keeps its timestamp but garbles the
+   first written value. Scans cannot be dropped or corrupted. *)
+let fault_adapter : Ops.op Rsim_faults.Faults.adapter =
+  {
+    Rsim_faults.Faults.drop =
+      (function
+      | Ops.Happend_triples (_ :: _) -> Some (Ops.Happend_triples [])
+      | Ops.Happend_lrecords (_ :: _) -> Some (Ops.Happend_lrecords [])
+      | Ops.Hscan | Ops.Happend_triples [] | Ops.Happend_lrecords [] -> None);
+    corrupt =
+      (fun g op ->
+        match op with
+        | Ops.Happend_triples (tr :: rest) ->
+          let k, _ = Rsim_value.Prng.int g 0x10000 in
+          Some
+            (Ops.Happend_triples
+               ({ tr with Hrep.value = Value.Int (0x7bad0000 lor k) } :: rest))
+        | Ops.Happend_triples [] | Ops.Happend_lrecords _ | Ops.Hscan -> None);
+  }
+
 type bu_result =
   | Atomic of { view : Value.t array; last : Hrep.snap }
   | Yield
@@ -42,7 +64,7 @@ type mop =
 
 let mop_proc = function Scan_op { proc; _ } -> proc | Bu_op { proc; _ } -> proc
 
-type fault = Skip_yield_check | Yield_on_higher
+type fault = Skip_yield_check | Yield_on_higher | Spin_on_yield
 
 type t = {
   f : int;
@@ -174,11 +196,20 @@ let block_update t ~me updates =
   in
   let new_lower =
     match t.inject with
-    | None -> new_from (fun j -> j < me)
+    | None | Some Spin_on_yield -> new_from (fun j -> j < me)
     | Some Skip_yield_check -> false
     | Some Yield_on_higher -> new_from (fun j -> j > me)
   in
-  if new_lower then begin
+  if new_lower && t.inject = Some Spin_on_yield then begin
+    (* Deliberately blocking mutation: instead of yielding, busy-wait
+       re-scanning H forever. Breaks non-blocking progress — the target
+       of the explorer's progress oracle. *)
+    while true do
+      ignore (hscan t)
+    done;
+    assert false
+  end
+  else if new_lower then begin
     t.rev_log <-
       Bu_op
         {

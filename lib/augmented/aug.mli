@@ -47,15 +47,23 @@ module F : sig
     trace : trace_entry list;
     ops_per_fiber : int array;
     total_ops : int;
+    events : Rsim_runtime.Fiber.event list;
   }
 
   val run :
     ?max_ops:int ->
+    ?control:(pid:int -> nth:int -> Ops.op -> Ops.op Rsim_runtime.Fiber.directive) ->
+    ?max_restarts:int ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> Ops.op -> Ops.res) ->
     (int -> unit) list ->
     result
 end
+
+(** The {!Rsim_faults.Faults} adapter for [H] operations: dropped writes
+    append nothing, corrupted writes garble the first written value.
+    Scans are neither droppable nor corruptible. *)
+val fault_adapter : Ops.op Rsim_faults.Faults.adapter
 
 type bu_result =
   | Atomic of { view : Value.t array; last : Hrep.snap }
@@ -97,8 +105,11 @@ type t
       returns a stale view, violating the window lemmas (17-19).
     - [Yield_on_higher]: test {e higher} instead of lower identifiers
       (the paper's prose bug, see the module comment). Process 0 can
-      then yield, violating Theorem 20. *)
-type fault = Skip_yield_check | Yield_on_higher
+      then yield, violating Theorem 20.
+    - [Spin_on_yield]: instead of yielding, busy-wait re-scanning [H]
+      forever — a deliberately {e blocking} mutation. No safety oracle
+      flags it; only the explorer's progress oracle does. *)
+type fault = Skip_yield_check | Yield_on_higher | Spin_on_yield
 
 (** [create ~f ~m ()]: fresh object for [f] real processes and [m]
     components of M. [helping] (default true) enables the L-record

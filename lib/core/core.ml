@@ -31,6 +31,7 @@ module Run = Rsim_shmem.Run
 module Linearize = Rsim_shmem.Linearize
 
 module Fiber = Rsim_runtime.Fiber
+module Faults = Rsim_faults.Faults
 
 module Vts = Rsim_augmented.Vts
 module Hrep = Rsim_augmented.Hrep

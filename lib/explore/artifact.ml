@@ -1,7 +1,18 @@
+(* Schema history:
+   v1 — workload/params/inject/max_steps/errors/original/script;
+   v2 — adds "faults" (a fault-plane profile in the
+        {!Rsim_faults.Faults.of_string} grammar, or null).
+   Readers accept any version up to [current_version]; a missing
+   "version" means v1 (the first writer already stamped one, but the
+   first reader ignored it). *)
+let current_version = 2
+
 type t = {
+  version : int;
   workload : string;
   params : (string * int) list;
   inject : string option;
+  faults : string option;
   max_steps : int;
   errors : string list;
   original : int list;
@@ -11,9 +22,11 @@ type t = {
 let of_violation ~(workload : Explore.workload) ~max_steps
     (v : Explore.violation) =
   {
+    version = current_version;
     workload = workload.Explore.name;
     params = workload.Explore.params;
     inject = workload.Explore.inject;
+    faults = workload.Explore.faults;
     max_steps;
     errors = v.Explore.errors;
     original = v.Explore.original;
@@ -22,33 +35,41 @@ let of_violation ~(workload : Explore.workload) ~max_steps
 
 let to_workload t =
   let p k = List.assoc_opt k t.params in
-  match t.workload with
-  | "racing" -> (
-    if t.inject <> None then
-      Error "racing workloads do not support fault injection"
-    else
-      match (p "n", p "m", p "f", p "d") with
-      | Some n, Some m, Some f, Some d ->
-        Ok (Explore.Harness_target.racing ~n ~m ~f ~d ())
-      | _ -> Error "racing artifact is missing one of n/m/f/d")
-  | name -> (
-    match (p "f", p "m") with
-    | Some f, Some m -> (
-      let inject =
-        match t.inject with
-        | None -> Ok None
-        | Some s -> (
-          match Explore.fault_of_string s with
-          | Some fault -> Ok (Some fault)
-          | None -> Error ("unknown injected fault: " ^ s))
-      in
-      match inject with
-      | Error e -> Error e
-      | Ok inject -> (
-        match Explore.Aug_target.builtin ?inject ~name ~f ~m () with
-        | Some w -> Ok w
-        | None -> Error ("unknown workload: " ^ name)))
-    | _ -> Error "artifact is missing f/m parameters")
+  let faults =
+    match t.faults with
+    | None -> Ok []
+    | Some s -> Rsim_faults.Faults.of_string s
+  in
+  match faults with
+  | Error e -> Error ("artifact: bad fault profile: " ^ e)
+  | Ok faults -> (
+    match t.workload with
+    | "racing" -> (
+      if t.inject <> None then
+        Error "racing workloads do not support seeded bugs"
+      else
+        match (p "n", p "m", p "f", p "d") with
+        | Some n, Some m, Some f, Some d ->
+          Ok (Explore.Harness_target.racing ~faults ~n ~m ~f ~d ())
+        | _ -> Error "racing artifact is missing one of n/m/f/d")
+    | name -> (
+      match (p "f", p "m") with
+      | Some f, Some m -> (
+        let inject =
+          match t.inject with
+          | None -> Ok None
+          | Some s -> (
+            match Explore.fault_of_string s with
+            | Some fault -> Ok (Some fault)
+            | None -> Error ("unknown injected fault: " ^ s))
+        in
+        match inject with
+        | Error e -> Error e
+        | Ok inject -> (
+          match Explore.Aug_target.builtin ?inject ~faults ~name ~f ~m () with
+          | Some w -> Ok w
+          | None -> Error ("unknown workload: " ^ name)))
+      | _ -> Error "artifact is missing f/m parameters"))
 
 (* ---------------------------------------------------------------- *)
 (* Writing                                                           *)
@@ -73,25 +94,28 @@ let ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
 let strs l =
   "[" ^ String.concat ", " (List.map (fun s -> "\"" ^ esc s ^ "\"") l) ^ "]"
 
+let opt_str = function None -> "null" | Some s -> "\"" ^ esc s ^ "\""
+
 let to_json t =
   Printf.sprintf
     "{\n\
-    \  \"version\": 1,\n\
+    \  \"version\": %d,\n\
     \  \"workload\": \"%s\",\n\
     \  \"params\": {%s},\n\
     \  \"inject\": %s,\n\
+    \  \"faults\": %s,\n\
     \  \"max_steps\": %d,\n\
     \  \"errors\": %s,\n\
     \  \"original\": %s,\n\
     \  \"script\": %s\n\
      }\n"
-    (esc t.workload)
+    t.version (esc t.workload)
     (String.concat ", "
        (List.map
           (fun (k, v) -> Printf.sprintf "\"%s\": %d" (esc k) v)
           t.params))
-    (match t.inject with None -> "null" | Some s -> "\"" ^ esc s ^ "\"")
-    t.max_steps (strs t.errors) (ints t.original) (ints t.script)
+    (opt_str t.inject) (opt_str t.faults) t.max_steps (strs t.errors)
+    (ints t.original) (ints t.script)
 
 (* ---------------------------------------------------------------- *)
 (* Reading (minimal JSON subset)                                     *)
@@ -275,6 +299,18 @@ let of_json str =
         |> Result.map List.rev
       | _ -> Error ("artifact: missing string list " ^ k)
     in
+    let* version =
+      match find "version" with
+      | None -> Ok 1 (* pre-versioned artifacts *)
+      | Some (Jint v) when v >= 1 && v <= current_version -> Ok v
+      | Some (Jint v) ->
+        Error
+          (Printf.sprintf
+             "artifact: unsupported artifact version %d (this build reads up \
+              to %d)"
+             v current_version)
+      | Some _ -> Error "artifact: version must be an integer"
+    in
     let* workload = str_field "workload" in
     let* params =
       match find "params" with
@@ -289,17 +325,30 @@ let of_json str =
         |> Result.map List.rev
       | _ -> Error "artifact: missing params object"
     in
-    let* inject =
-      match find "inject" with
+    let opt_str_field k =
+      match find k with
       | Some Null | None -> Ok None
       | Some (Jstr s) -> Ok (Some s)
-      | Some _ -> Error "artifact: inject must be a string or null"
+      | Some _ -> Error ("artifact: " ^ k ^ " must be a string or null")
     in
+    let* inject = opt_str_field "inject" in
+    let* faults = opt_str_field "faults" in
     let* max_steps = int_field "max_steps" in
     let* errors = str_list "errors" in
     let* original = int_list "original" in
     let* script = int_list "script" in
-    Ok { workload; params; inject; max_steps; errors; original; script }
+    Ok
+      {
+        version;
+        workload;
+        params;
+        inject;
+        faults;
+        max_steps;
+        errors;
+        original;
+        script;
+      }
   | _ -> Error "invalid artifact: expected a JSON object"
 
 let save ~path t =

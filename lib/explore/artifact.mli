@@ -7,10 +7,11 @@
 
     {v
     {
-      "version": 1,
+      "version": 2,
       "workload": "bu-conflict",
       "params": {"f": 2, "m": 2},
       "inject": "yield-on-higher",
+      "faults": "crash@1:3",
       "max_steps": 12,
       "errors": ["theorem20: process 0 yielded (ts [0;1])"],
       "original": [1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1],
@@ -18,13 +19,24 @@
     }
     v}
 
+    The schema is versioned: v1 artifacts (with or without the "version"
+    field) lack "faults" and keep reading fine; artifacts from a {e
+    newer} schema than this build understands are rejected with a
+    distinct error, so [rsim replay] can exit 2 (unreadable) rather than
+    1 (violation reproduced).
+
     The reader/writer below is a tiny hand-rolled JSON subset (objects,
     arrays, strings, integers, [null]) — deliberately dependency-free. *)
 
+(** The newest schema this build writes and reads (2). *)
+val current_version : int
+
 type t = {
+  version : int;  (** schema version; {!of_violation} stamps the newest *)
   workload : string;  (** a {!Explore.Aug_target.builtin} name or ["racing"] *)
   params : (string * int) list;
-  inject : string option;
+  inject : string option;  (** seeded bug *)
+  faults : string option;  (** fault-plane profile (v2+) *)
   max_steps : int;
   errors : string list;
   original : int list;
@@ -34,8 +46,10 @@ type t = {
 val of_violation :
   workload:Explore.workload -> max_steps:int -> Explore.violation -> t
 
-(** Rebuild the workload this artifact was produced from. Fails on an
-    unknown workload name, unparseable fault, or missing parameters. *)
+(** Rebuild the workload this artifact was produced from — including its
+    fault profile, so the replay faults the same ops of the same pids.
+    Fails on an unknown workload name, unparseable bug or fault profile,
+    or missing parameters. *)
 val to_workload : t -> (Explore.workload, string) result
 
 val to_json : t -> string

@@ -6,6 +6,7 @@ module Hrep = Rsim_augmented.Hrep
 module Vts = Rsim_augmented.Vts
 module Harness = Rsim_simulation.Harness
 module Analysis = Rsim_simulation.Analysis
+module Faults = Rsim_faults.Faults
 module Task = Rsim_tasks.Task
 module Racing = Rsim_protocols.Racing
 
@@ -25,6 +26,7 @@ type workload = {
   n_procs : int;
   params : (string * int) list;
   inject : string option;
+  faults : string option;
   exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
 }
 
@@ -45,10 +47,12 @@ end
 let fault_to_string = function
   | Aug.Skip_yield_check -> "skip-yield-check"
   | Aug.Yield_on_higher -> "yield-on-higher"
+  | Aug.Spin_on_yield -> "spin-on-yield"
 
 let fault_of_string = function
   | "skip-yield-check" -> Some Aug.Skip_yield_check
   | "yield-on-higher" -> Some Aug.Yield_on_higher
+  | "spin-on-yield" -> Some Aug.Spin_on_yield
   | _ -> None
 
 (* ---------------------------------------------------------------- *)
@@ -210,11 +214,11 @@ type sweep_report = {
   violations : violation list;
 }
 
-(* One of four adversary families, drawn deterministically from the
+(* One of five adversary families, drawn deterministically from the
    per-execution seed. *)
 let gen_sched ~n_procs ~max_steps ~seed =
   let g = Prng.make seed in
-  let kind, g = Prng.int g 4 in
+  let kind, g = Prng.int g 5 in
   let sub_seed, g = Prng.int g 0x3FFFFFFF in
   match kind with
   | 0 -> Schedule.random ~seed:sub_seed
@@ -244,6 +248,19 @@ let gen_sched ~n_procs ~max_steps ~seed =
     in
     let procs = if procs = [] then [ 0 ] else procs in
     Schedule.among ~procs ~seed:sub_seed
+  | 3 ->
+    (* starvation: a random victim is hidden from the scheduler for an
+       opening stretch, then everyone runs free — the adversary that a
+       non-blocking object must shrug off *)
+    let victim, g = Prng.int g n_procs in
+    let len, _ = Prng.int g (max 1 (max_steps / 4)) in
+    let procs =
+      List.filter (fun p -> p <> victim) (List.init n_procs Fun.id)
+    in
+    let procs = if procs = [] then [ victim ] else procs in
+    Schedule.phased ~prefix_len:(4 + len)
+      ~prefix:(Schedule.among ~procs ~seed:sub_seed)
+      ~suffix:(Schedule.random ~seed:(sub_seed lxor 0x5555))
   | _ ->
     let rec gen g k acc =
       if k = 0 then List.rev acc
@@ -401,12 +418,14 @@ module Aug_target = struct
           Array.iteri
             (fun pid st ->
               match st with
-              | Rsim_runtime.Fiber.Failed e ->
+              | Rsim_runtime.Fiber.Failed e when not (Faults.is_injected e) ->
                 errs :=
                   Printf.sprintf "fiber %d raised %s" pid
                     (Printexc.to_string e)
                   :: !errs
-              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+              | Rsim_runtime.Fiber.Failed _ (* modeled fault: a crash *)
+              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+              | Rsim_runtime.Fiber.Crashed -> ())
             result.Aug.F.statuses;
           List.rev !errs);
     }
@@ -448,7 +467,77 @@ module Aug_target = struct
           else [ "no linearization of the M-operation history (Wing-Gong)" ]);
     }
 
-  let default_oracles = [ no_failure; spec; theorem20 ]
+  (* The non-blocking guarantee (Theorem 20's machinery): while any
+     process is still pending, some M-operation must keep completing.
+     A truncated run whose final [window] H-operations contain no
+     M-operation completion is a progress violation — the detector for
+     blocking bugs (e.g. [Spin_on_yield]) that every safety oracle is
+     blind to. *)
+  let progress ?(window = 48) () : exec Oracle.t =
+    {
+      Oracle.name = "progress";
+      on_truncated = true;
+      check =
+        (fun { aug; result; complete } ->
+          let steps = result.Aug.F.total_ops in
+          if complete || steps < window then []
+          else
+            let horizon = steps - window in
+            let recent =
+              List.exists
+                (fun mop ->
+                  (match mop with
+                  | Aug.Scan_op { end_idx; _ } | Aug.Bu_op { end_idx; _ } ->
+                    end_idx)
+                  >= horizon)
+                (Aug.log aug)
+            in
+            if recent then []
+            else
+              [
+                Printf.sprintf
+                  "no M-operation completed in the final %d of %d steps while \
+                   a process was still pending (blocking)"
+                  window steps;
+              ]);
+    }
+
+  (* Crash-robustness: when the run contains injected crashes, the
+     surviving history must still satisfy the augmented-snapshot spec and
+     stay linearizable with the crashed processes' updates pending. *)
+  let crash_robust : exec Oracle.t =
+    {
+      Oracle.name = "crash-robust";
+      on_truncated = true;
+      check =
+        (fun { aug; result; _ } ->
+          let crashed =
+            Array.exists
+              (function
+                | Rsim_runtime.Fiber.Crashed -> true
+                | Rsim_runtime.Fiber.Failed e -> Faults.is_injected e
+                | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending ->
+                  false)
+              result.Aug.F.statuses
+          in
+          if not crashed then []
+          else
+            let r = Aug_spec.check aug result.Aug.F.trace in
+            let spec_errs = if r.Aug_spec.ok then [] else r.Aug_spec.errors in
+            let lin_errs =
+              let spec, entries = mop_history aug result.Aug.F.trace in
+              if List.length entries > 16 then []
+              else if Linearize.check spec entries then []
+              else
+                [
+                  "crashed history not linearizable with the crashed \
+                   processes' updates pending";
+                ]
+            in
+            spec_errs @ lin_errs);
+    }
+
+  let default_oracles = [ no_failure; spec; theorem20; progress () ]
 
   let live_of statuses =
     let live = ref [] in
@@ -456,14 +545,22 @@ module Aug_target = struct
       (fun pid st ->
         match st with
         | Rsim_runtime.Fiber.Pending -> live := pid :: !live
-        | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _ -> ())
+        | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _
+        | Rsim_runtime.Fiber.Crashed -> ())
       statuses;
     List.rev !live
 
-  let workload ?(oracles = default_oracles) ?inject ~name ~f ~m ~bodies () =
+  let workload ?(oracles = default_oracles) ?inject ?(faults = []) ~name ~f ~m
+      ~bodies () =
     let exec ~sched ~max_ops ~check =
       let aug = Aug.create ?inject ~f ~m () in
-      let result = Aug.F.run ~max_ops ~sched ~apply:(Aug.apply aug) (bodies aug) in
+      (* A plan is single-run (fire-once state), so compile it afresh for
+         every execution: replays see the identical fault environment. *)
+      let plan = Faults.plan ~adapter:Aug.fault_adapter faults in
+      let control = Faults.control plan in
+      let result =
+        Aug.F.run ~max_ops ~control ~sched ~apply:(Aug.apply aug) (bodies aug)
+      in
       let live = live_of result.Aug.F.statuses in
       let complete = live = [] in
       let errors =
@@ -491,6 +588,7 @@ module Aug_target = struct
       n_procs = f;
       params = [ ("f", f); ("m", m) ];
       inject = Option.map fault_to_string inject;
+      faults = (if faults = [] then None else Some (Faults.to_string faults));
       exec;
     }
 
@@ -522,8 +620,10 @@ module Aug_target = struct
 
   let builtin_names = [ "bu-conflict"; "bu-scan"; "bu-then-scan"; "mixed" ]
 
-  let builtin ?inject ?oracles ~name ~f ~m () =
-    let mk bodies = Some (workload ?oracles ?inject ~name ~f ~m ~bodies ()) in
+  let builtin ?inject ?faults ?oracles ~name ~f ~m () =
+    let mk bodies =
+      Some (workload ?oracles ?inject ?faults ~name ~f ~m ~bodies ())
+    in
     match name with
     | "bu-conflict" ->
       mk (fun aug ->
@@ -566,12 +666,14 @@ module Harness_target = struct
           Array.iteri
             (fun pid st ->
               match st with
-              | Rsim_runtime.Fiber.Failed e ->
+              | Rsim_runtime.Fiber.Failed e when not (Faults.is_injected e) ->
                 errs :=
                   Printf.sprintf "simulator %d raised %s" pid
                     (Printexc.to_string e)
                   :: !errs
-              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+              | Rsim_runtime.Fiber.Failed _ (* modeled fault: a crash *)
+              | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+              | Rsim_runtime.Fiber.Crashed -> ())
             result.Harness.statuses;
           List.rev !errs);
     }
@@ -604,12 +706,68 @@ module Harness_target = struct
         (fun { hspec; result; _ } ->
           match Harness.validate hspec result ~task:Task.consensus with
           | Ok () -> []
-          | Error e -> [ e ]);
+          | Error e -> [ Harness.explain e ]);
+    }
+
+  (* Crash-fault validation: crashed/quarantined simulators are excused;
+     the survivors must still solve the task. *)
+  let consensus_survivors : exec Oracle.t =
+    {
+      Oracle.name = "consensus-survivors";
+      on_truncated = false;
+      check =
+        (fun { hspec; result; _ } ->
+          match
+            Harness.validate ~survivors_only:true hspec result
+              ~task:Task.consensus
+          with
+          | Ok () -> []
+          | Error e -> [ Harness.explain e ]);
+    }
+
+  (* Harness-level non-blocking detector, over the simulation's M. *)
+  let progress ?(window = 48) () : exec Oracle.t =
+    {
+      Oracle.name = "progress";
+      on_truncated = true;
+      check =
+        (fun { result; complete; _ } ->
+          let steps = result.Harness.total_ops in
+          if complete || steps < window then []
+          else
+            let horizon = steps - window in
+            let recent =
+              List.exists
+                (fun mop ->
+                  (match mop with
+                  | Aug.Scan_op { end_idx; _ } | Aug.Bu_op { end_idx; _ } ->
+                    end_idx)
+                  >= horizon)
+                (Aug.log result.Harness.aug)
+            in
+            if recent then []
+            else
+              [
+                Printf.sprintf
+                  "no M-operation completed in the final %d of %d steps while \
+                   a simulator was still pending (blocking)"
+                  window steps;
+              ]);
     }
 
   let default_oracles = [ no_failure; aug_spec; analysis; consensus ]
 
-  let racing ?(oracles = default_oracles) ~n ~m ~f ~d () =
+  (* With faults on, strict all-done validation and the Lemma 26 replay
+     no longer apply (crashed simulators leave partial journals): switch
+     to survivor validation plus the progress detector. *)
+  let fault_oracles = [ no_failure; aug_spec; progress (); consensus_survivors ]
+
+  let racing ?oracles ?(faults = []) ?watchdog ~n ~m ~f ~d () =
+    let oracles =
+      match oracles with
+      | Some os -> os
+      | None -> if faults = [] then default_oracles else fault_oracles
+    in
     let exec ~sched ~max_ops ~check =
       let hspec =
         {
@@ -621,13 +779,14 @@ module Harness_target = struct
           inputs = List.init f (fun p -> Value.Int (p + 1));
         }
       in
-      let result = Harness.run ~max_ops ~sched hspec in
+      let result = Harness.run ~max_ops ~faults ?watchdog ~sched hspec in
       let live = ref [] in
       Array.iteri
         (fun pid st ->
           match st with
           | Rsim_runtime.Fiber.Pending -> live := pid :: !live
-          | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _ -> ())
+          | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _
+          | Rsim_runtime.Fiber.Crashed -> ())
         result.Harness.statuses;
       let live = List.rev !live in
       let complete = live = [] in
@@ -658,6 +817,7 @@ module Harness_target = struct
       n_procs = f;
       params = [ ("n", n); ("m", m); ("f", f); ("d", d) ];
       inject = None;
+      faults = (if faults = [] then None else Some (Faults.to_string faults));
       exec;
     }
 end

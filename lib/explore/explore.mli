@@ -49,7 +49,9 @@ type workload = {
   n_procs : int;
   params : (string * int) list;
       (** enough to rebuild the workload when replaying an artifact *)
-  inject : string option;  (** seeded fault, if any (see {!Aug_target}) *)
+  inject : string option;  (** seeded bug, if any (see {!Aug_target}) *)
+  faults : string option;
+      (** fault-plane profile ({!Rsim_faults.Faults.to_string}), if any *)
   exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
 }
 
@@ -126,8 +128,8 @@ module Oracle : sig
   }
 end
 
-(** Fault injection names, as persisted in artifacts:
-    ["skip-yield-check"] and ["yield-on-higher"]. *)
+(** Seeded-bug names, as persisted in artifacts: ["skip-yield-check"],
+    ["yield-on-higher"] and ["spin-on-yield"]. *)
 val fault_to_string : Rsim_augmented.Aug.fault -> string
 
 val fault_of_string : string -> Rsim_augmented.Aug.fault option
@@ -159,15 +161,32 @@ module Aug_target : sig
       search is exponential). *)
   val linearizable : exec Oracle.t
 
-  (** [[no_failure; spec; theorem20]]. *)
+  (** The non-blocking detector: fails a truncated execution whose final
+      [window] (default 48) base-object operations contain no
+      M-operation completion while some process is still pending. This is
+      the only oracle that catches {e blocking} bugs — a process spinning
+      instead of yielding violates no safety property. *)
+  val progress : ?window:int -> unit -> exec Oracle.t
+
+  (** When the execution contains injected crashes
+      ({!Rsim_faults.Faults}), re-checks the §3 spec and Wing-Gong
+      linearizability of the surviving history, with the crashed
+      processes' incomplete Block-Updates as pending operations. Passes
+      vacuously on crash-free executions. *)
+  val crash_robust : exec Oracle.t
+
+  (** [[no_failure; spec; theorem20; progress ()]]. *)
   val default_oracles : exec Oracle.t list
 
   (** Build a workload over a fresh augmented snapshot per execution.
       [bodies aug] must build fresh fiber bodies (one per pid, [f] of
-      them) on every call. *)
+      them) on every call. [faults] is a fault-plane profile compiled
+      afresh (fire-once state and all) on every execution, so replays are
+      deterministic. *)
   val workload :
     ?oracles:exec Oracle.t list ->
     ?inject:Rsim_augmented.Aug.fault ->
+    ?faults:Rsim_faults.Faults.spec list ->
     name:string ->
     f:int ->
     m:int ->
@@ -183,6 +202,7 @@ module Aug_target : sig
       Returns [None] for an unknown name. *)
   val builtin :
     ?inject:Rsim_augmented.Aug.fault ->
+    ?faults:Rsim_faults.Faults.spec list ->
     ?oracles:exec Oracle.t list ->
     name:string ->
     f:int ->
@@ -214,13 +234,35 @@ module Harness_target : sig
   (** Simulators' outputs solve consensus (complete runs only). *)
   val consensus : exec Oracle.t
 
+  (** Crash-fault validation
+      ({!Rsim_simulation.Harness.validate}[ ~survivors_only:true]):
+      crashed and quarantined simulators are excused, the survivors'
+      outputs must still solve consensus (complete runs only). *)
+  val consensus_survivors : exec Oracle.t
+
+  (** The harness-level non-blocking detector — same contract as
+      {!Aug_target.progress}, over the simulation's augmented snapshot. *)
+  val progress : ?window:int -> unit -> exec Oracle.t
+
+  (** [[no_failure; aug_spec; analysis; consensus]]. *)
   val default_oracles : exec Oracle.t list
+
+  (** [[no_failure; aug_spec; progress (); consensus_survivors]] — the
+      default when a fault profile is in force (crashed simulators leave
+      partial journals, so strict validation and the Lemma 26 replay do
+      not apply). *)
+  val fault_oracles : exec Oracle.t list
 
   (** The racing-consensus simulation of Theorem 21, explorable: [f]
       simulators ([d] of them direct) over an [m]-component augmented
-      snapshot, simulating [n] processes. Workload name ["racing"]. *)
+      snapshot, simulating [n] processes. Workload name ["racing"].
+      [faults]/[watchdog] are passed to every
+      {!Rsim_simulation.Harness.run}; with a non-empty [faults] the
+      default oracles switch to {!fault_oracles}. *)
   val racing :
     ?oracles:exec Oracle.t list ->
+    ?faults:Rsim_faults.Faults.spec list ->
+    ?watchdog:int ->
     n:int ->
     m:int ->
     f:int ->

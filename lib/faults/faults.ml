@@ -1,0 +1,195 @@
+open Rsim_value
+
+type action =
+  | Crash
+  | Restart of { delay : int }
+  | Stall of { steps : int }
+  | Drop
+  | Corrupt of { seed : int }
+  | Raise_exn
+
+type spec = { pid : int; at_op : int; action : action }
+
+exception Injected of int * int
+
+let () =
+  Printexc.register_printer (function
+    | Injected (pid, at_op) ->
+      Some (Printf.sprintf "Faults.Injected(pid %d, op %d)" pid at_op)
+    | _ -> None)
+
+let is_injected = function Injected _ -> true | _ -> false
+
+(* ---------------------------------------------------------------- *)
+(* Spec grammar                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let spec_to_string { pid; at_op; action } =
+  match action with
+  | Crash -> Printf.sprintf "crash@%d:%d" pid at_op
+  | Restart { delay } -> Printf.sprintf "restart@%d:%d+%d" pid at_op delay
+  | Stall { steps } -> Printf.sprintf "stall@%d:%d*%d" pid at_op steps
+  | Drop -> Printf.sprintf "drop@%d:%d" pid at_op
+  | Corrupt { seed } -> Printf.sprintf "corrupt@%d:%d#%d" pid at_op seed
+  | Raise_exn -> Printf.sprintf "raise@%d:%d" pid at_op
+
+let to_string = function
+  | [] -> "none"
+  | specs -> String.concat "," (List.map spec_to_string specs)
+
+let ( let* ) = Result.bind
+
+let int_of s =
+  match int_of_string_opt s with
+  | Some k when k >= 0 -> Ok k
+  | Some _ | None -> Error (Printf.sprintf "expected a non-negative integer, got %S" s)
+
+(* kind@PID:AT[+DELAY|*STEPS|#SEED] *)
+let spec_of_string s =
+  let fail () = Error (Printf.sprintf "bad fault spec %S" s) in
+  match String.index_opt s '@' with
+  | None -> fail ()
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest ':' with
+    | None -> fail ()
+    | Some j ->
+      let* pid = int_of (String.sub rest 0 j) in
+      let loc = String.sub rest (j + 1) (String.length rest - j - 1) in
+      let split c =
+        match String.index_opt loc c with
+        | None -> Error (Printf.sprintf "fault spec %S is missing '%c'" s c)
+        | Some k ->
+          let* a = int_of (String.sub loc 0 k) in
+          let* b = int_of (String.sub loc (k + 1) (String.length loc - k - 1)) in
+          Ok (a, b)
+      in
+      (match kind with
+      | "crash" ->
+        let* at_op = int_of loc in
+        Ok { pid; at_op; action = Crash }
+      | "restart" ->
+        let* at_op, delay = split '+' in
+        Ok { pid; at_op; action = Restart { delay } }
+      | "stall" ->
+        let* at_op, steps = split '*' in
+        Ok { pid; at_op; action = Stall { steps } }
+      | "drop" ->
+        let* at_op = int_of loc in
+        Ok { pid; at_op; action = Drop }
+      | "corrupt" ->
+        let* at_op, seed = split '#' in
+        Ok { pid; at_op; action = Corrupt { seed } }
+      | "raise" ->
+        let* at_op = int_of loc in
+        Ok { pid; at_op; action = Raise_exn }
+      | _ -> Error (Printf.sprintf "unknown fault kind %S in %S" kind s)))
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.fold_left
+         (fun acc part ->
+           let* acc = acc in
+           let* spec = spec_of_string part in
+           Ok (spec :: acc))
+         (Ok [])
+    |> Result.map List.rev
+
+(* ---------------------------------------------------------------- *)
+(* Named seeded profiles                                             *)
+(* ---------------------------------------------------------------- *)
+
+let names = [ "crashy"; "stally"; "restarting"; "chaos" ]
+
+(* Each family is deterministic in (n_procs, seed). They only use the
+   benign fault kinds (crash / restart / stall) — the ones the
+   non-blocking guarantees must survive — never drops or corruption. *)
+let gen_family ~kinds ~n_procs ~seed =
+  let g = ref (Prng.make (0x5fa17 + seed)) in
+  let draw n =
+    let k, g' = Prng.int !g n in
+    g := g';
+    k
+  in
+  List.filter_map
+    (fun pid ->
+      if draw 3 = 0 then None (* this process runs fault-free *)
+      else
+        let at_op = draw 8 in
+        let action =
+          match List.nth kinds (draw (List.length kinds)) with
+          | `Crash -> Crash
+          | `Restart -> Restart { delay = 1 + draw 6 }
+          | `Stall -> Stall { steps = 1 + draw 6 }
+        in
+        Some { pid; at_op; action })
+    (List.init n_procs Fun.id)
+
+let named name ~n_procs ~seed =
+  match name with
+  | "crashy" -> Some (gen_family ~kinds:[ `Crash ] ~n_procs ~seed)
+  | "stally" -> Some (gen_family ~kinds:[ `Stall ] ~n_procs ~seed)
+  | "restarting" -> Some (gen_family ~kinds:[ `Restart ] ~n_procs ~seed)
+  | "chaos" -> Some (gen_family ~kinds:[ `Crash; `Restart; `Stall ] ~n_procs ~seed)
+  | _ -> None
+
+let resolve ~n_procs ~seed s =
+  match named (String.trim s) ~n_procs ~seed with
+  | Some specs -> Ok specs
+  | None -> (
+    match of_string s with
+    | Ok specs -> Ok specs
+    | Error e ->
+      Error
+        (Printf.sprintf "%s (or use a named profile: %s)" e
+           (String.concat ", " names)))
+
+(* ---------------------------------------------------------------- *)
+(* Compiling a profile into a fiber control hook                     *)
+(* ---------------------------------------------------------------- *)
+
+type 'op adapter = {
+  drop : 'op -> 'op option;
+  corrupt : Prng.t -> 'op -> 'op option;
+}
+
+let null_adapter = { drop = (fun _ -> None); corrupt = (fun _ _ -> None) }
+
+type 'op plan = {
+  adapter : 'op adapter;
+  slots : (spec * bool ref) list;  (** each spec fires at most once *)
+}
+
+let plan ~adapter specs =
+  { adapter; slots = List.map (fun s -> (s, ref false)) specs }
+
+let fired t =
+  List.filter_map (fun (s, f) -> if !f then Some s else None) t.slots
+
+let control t ~pid ~nth op : _ Rsim_runtime.Fiber.directive =
+  match
+    List.find_opt
+      (fun ((s : spec), f) -> (not !f) && s.pid = pid && s.at_op = nth)
+      t.slots
+  with
+  | None -> Rsim_runtime.Fiber.Proceed
+  | Some (spec, f) -> (
+    f := true;
+    match spec.action with
+    | Crash -> Rsim_runtime.Fiber.Crash
+    | Restart { delay } -> Rsim_runtime.Fiber.Crash_restart { delay }
+    | Stall { steps } -> Rsim_runtime.Fiber.Stall { steps }
+    | Raise_exn -> Rsim_runtime.Fiber.Raise (Injected (spec.pid, spec.at_op))
+    | Drop -> (
+      match t.adapter.drop op with
+      | Some op' -> Rsim_runtime.Fiber.Replace op'
+      | None -> Rsim_runtime.Fiber.Proceed)
+    | Corrupt { seed } -> (
+      match t.adapter.corrupt (Prng.make seed) op with
+      | Some op' -> Rsim_runtime.Fiber.Replace op'
+      | None -> Rsim_runtime.Fiber.Proceed))

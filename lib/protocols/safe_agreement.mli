@@ -39,10 +39,13 @@ module F : sig
     trace : trace_entry list;
     ops_per_fiber : int array;
     total_ops : int;
+    events : Rsim_runtime.Fiber.event list;
   }
 
   val run :
     ?max_ops:int ->
+    ?control:(pid:int -> nth:int -> Ops.op -> Ops.op Rsim_runtime.Fiber.directive) ->
+    ?max_restarts:int ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> Ops.op -> Ops.res) ->
     (int -> unit) list ->

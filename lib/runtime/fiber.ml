@@ -3,7 +3,34 @@ module type OPS = sig
   type res
 end
 
-type status = Done | Pending | Failed of exn
+type status = Done | Pending | Failed of exn | Crashed
+
+type 'op directive =
+  | Proceed
+  | Replace of 'op
+  | Crash
+  | Crash_restart of { delay : int }
+  | Stall of { steps : int }
+  | Raise of exn
+
+type event =
+  | Ev_crash of { pid : int; at : int; restarting : bool }
+  | Ev_restart of { pid : int; at : int; incarnation : int }
+  | Ev_stall of { pid : int; at : int; steps : int }
+  | Ev_replace of { pid : int; at : int }
+  | Ev_raise of { pid : int; at : int }
+
+let pp_event fmt = function
+  | Ev_crash { pid; at; restarting } ->
+    Format.fprintf fmt "crash(pid=%d, at=%d%s)" pid at
+      (if restarting then ", restarting" else "")
+  | Ev_restart { pid; at; incarnation } ->
+    Format.fprintf fmt "restart(pid=%d, at=%d, incarnation=%d)" pid at
+      incarnation
+  | Ev_stall { pid; at; steps } ->
+    Format.fprintf fmt "stall(pid=%d, at=%d, steps=%d)" pid at steps
+  | Ev_replace { pid; at } -> Format.fprintf fmt "replace(pid=%d, at=%d)" pid at
+  | Ev_raise { pid; at } -> Format.fprintf fmt "raise(pid=%d, at=%d)" pid at
 
 module Make (M : OPS) = struct
   open Effect
@@ -20,6 +47,7 @@ module Make (M : OPS) = struct
     trace : trace_entry list;
     ops_per_fiber : int array;
     total_ops : int;
+    events : event list;
   }
 
   (* A fiber that performed an operation is suspended here until the
@@ -46,43 +74,123 @@ module Make (M : OPS) = struct
             | _ -> None);
       }
 
-  let run ?(max_ops = 1_000_000) ~sched ~apply bodies =
+  let run ?(max_ops = 1_000_000) ?control ?(max_restarts = 4) ~sched ~apply
+      bodies =
     let n = List.length bodies in
+    let bodies_arr = Array.of_list bodies in
     let slots = Array.make n Fresh in
     List.iteri (fun pid body -> start_fiber pid body slots) bodies;
     let ops_per_fiber = Array.make n 0 in
     let rev_trace = ref [] in
+    let rev_events = ref [] in
     let total = ref 0 in
+    (* [clock] counts scheduling decisions; stall windows and restart
+       delays are measured against it, so a stalled or crashed-restarting
+       fiber wakes after other fibers have been offered that many turns
+       (or immediately, if nobody else can run — time fast-forwards). *)
+    let clock = ref 0 in
+    let stalled_until = Array.make n 0 in
+    let restart_due = Array.make n (-1) in
+    let incarnations = Array.make n 0 in
+    let event e = rev_events := e :: !rev_events in
+    let do_restarts () =
+      for pid = 0 to n - 1 do
+        if restart_due.(pid) >= 0 && !clock >= restart_due.(pid) then begin
+          restart_due.(pid) <- -1;
+          incarnations.(pid) <- incarnations.(pid) + 1;
+          event
+            (Ev_restart
+               { pid; at = !total; incarnation = incarnations.(pid) });
+          (* A restarted process loses all local state: its body runs
+             again from the beginning. Shared state (inside [apply]'s
+             closure) persists. *)
+          start_fiber pid bodies_arr.(pid) slots
+        end
+      done
+    in
     let pending_pids () =
       let acc = ref [] in
       for pid = n - 1 downto 0 do
         match slots.(pid) with
-        | Suspended _ -> acc := pid :: !acc
+        | Suspended _ -> if stalled_until.(pid) <= !clock then acc := pid :: !acc
         | Fresh | Finished _ -> ()
       done;
       !acc
     in
+    (* The earliest clock at which a stalled fiber wakes or a crashed one
+       restarts, if any. *)
+    let earliest_wake () =
+      let best = ref None in
+      let consider c = match !best with
+        | Some b when b <= c -> ()
+        | _ -> best := Some c
+      in
+      for pid = 0 to n - 1 do
+        (match slots.(pid) with
+        | Suspended _ when stalled_until.(pid) > !clock ->
+          consider stalled_until.(pid)
+        | Suspended _ | Fresh | Finished _ -> ());
+        if restart_due.(pid) >= 0 then consider restart_due.(pid)
+      done;
+      !best
+    in
     let rec loop sched =
       if !total >= max_ops then ()
-      else
+      else begin
+        do_restarts ();
         match pending_pids () with
-        | [] -> ()
+        | [] -> (
+          (* Nobody can run now, but time passing may wake someone. *)
+          match earliest_wake () with
+          | Some c ->
+            clock := c;
+            loop sched
+          | None -> ())
         | live -> (
           match Rsim_shmem.Schedule.next sched ~live with
           | None -> ()
           | Some (pid, sched') ->
+            incr clock;
             (match slots.(pid) with
-            | Suspended { pending_op; resume } ->
-              let res = apply ~pid pending_op in
-              rev_trace :=
-                { idx = !total; pid; op = pending_op; res } :: !rev_trace;
-              total := !total + 1;
-              ops_per_fiber.(pid) <- ops_per_fiber.(pid) + 1;
-              (* Resuming overwrites the slot with the fiber's next state
-                 (Suspended on its next op, or Finished). *)
-              continue resume res
+            | Suspended { pending_op; resume } -> (
+              let exec op =
+                let res = apply ~pid op in
+                rev_trace := { idx = !total; pid; op; res } :: !rev_trace;
+                total := !total + 1;
+                ops_per_fiber.(pid) <- ops_per_fiber.(pid) + 1;
+                (* Resuming overwrites the slot with the fiber's next
+                   state (Suspended on its next op, or Finished). *)
+                continue resume res
+              in
+              let directive =
+                match control with
+                | None -> Proceed
+                | Some c -> c ~pid ~nth:ops_per_fiber.(pid) pending_op
+              in
+              match directive with
+              | Proceed -> exec pending_op
+              | Replace op' ->
+                event (Ev_replace { pid; at = !total });
+                exec op'
+              | Raise e ->
+                (* The injected exception unwinds the fiber body, so the
+                   fiber ends up [Failed e] via [start_fiber]'s [exnc]. *)
+                event (Ev_raise { pid; at = !total });
+                discontinue resume e
+              | Crash ->
+                event (Ev_crash { pid; at = !total; restarting = false });
+                slots.(pid) <- Finished Crashed
+              | Crash_restart { delay } ->
+                let restarting = incarnations.(pid) < max_restarts in
+                event (Ev_crash { pid; at = !total; restarting });
+                slots.(pid) <- Finished Crashed;
+                if restarting then restart_due.(pid) <- !clock + max 1 delay
+              | Stall { steps } ->
+                event (Ev_stall { pid; at = !total; steps });
+                stalled_until.(pid) <- !clock + max 1 steps)
             | Fresh | Finished _ -> assert false);
             loop sched')
+      end
     in
     loop sched;
     let statuses =
@@ -93,5 +201,11 @@ module Make (M : OPS) = struct
           | Fresh -> Done)
         slots
     in
-    { statuses; trace = List.rev !rev_trace; ops_per_fiber; total_ops = !total }
+    {
+      statuses;
+      trace = List.rev !rev_trace;
+      ops_per_fiber;
+      total_ops = !total;
+      events = List.rev !rev_events;
+    }
 end

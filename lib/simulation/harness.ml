@@ -15,6 +15,14 @@ type spec = {
   inputs : Value.t list;
 }
 
+type quarantine = { sim : int; at_op : int; reason : string }
+
+type fault_report = {
+  events : Rsim_runtime.Fiber.event list;
+  quarantined : quarantine list;
+  watchdog_budget : int;
+}
+
 type result = {
   outputs : (int * Value.t) list;
   aug : Aug.t;
@@ -26,6 +34,7 @@ type result = {
   bu_counts : int array;
   total_ops : int;
   all_done : bool;
+  report : fault_report;
 }
 
 let partition ~m ~f ~d =
@@ -45,8 +54,26 @@ let check_spec spec =
   if List.length spec.inputs <> spec.f then
     invalid_arg "Harness: need exactly f inputs"
 
-let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ~sched spec =
+(* Lemma 31's per-simulator step bound on the single-writer snapshot —
+   the natural yardstick for the supervision watchdog. The lemma is
+   stated for an all-covering simulation; shapes with direct simulators
+   can legitimately run past it, so the default budget takes a generous
+   multiple (the watchdog only has to be finite to catch divergence, not
+   tight). Saturates for large f·m, so cap it by the run's own op
+   budget. *)
+let default_watchdog ~f ~m ~max_ops =
+  let b = Complexity.step_bound ~f ~m in
+  if Complexity.is_saturated b || b > (max_ops - 64) / 4 then max_ops
+  else (4 * b) + 64
+
+let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ?(faults = [])
+    ?watchdog ~sched spec =
   check_spec spec;
+  let watchdog_budget =
+    match watchdog with
+    | Some b -> b
+    | None -> default_watchdog ~f:spec.f ~m:spec.m ~max_ops
+  in
   let aug = Aug.create ~f:spec.f ~m:spec.m () in
   let part = partition ~m:spec.m ~f:spec.f ~d:spec.d in
   let journals = Array.init spec.f (fun _ -> Journal.create ()) in
@@ -77,8 +104,32 @@ let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ~sched spec =
         end)
   in
   Log.debug (fun k ->
-      k "starting simulation: n=%d m=%d f=%d d=%d" spec.n spec.m spec.f spec.d);
-  let fr = Aug.F.run ~max_ops ~sched ~apply:(Aug.apply aug) bodies in
+      k "starting simulation: n=%d m=%d f=%d d=%d watchdog=%d" spec.n spec.m
+        spec.f spec.d watchdog_budget);
+  (* Supervision: injected faults first, then the per-simulator step
+     watchdog. A simulator that exceeds Lemma 31's budget is diverging
+     (or being starved into unbounded work by a bug); it is quarantined —
+     crashed in place — and the run continues with the others. *)
+  let plan = Rsim_faults.Faults.plan ~adapter:Aug.fault_adapter faults in
+  let quarantined = ref [] in
+  let control ~pid ~nth op =
+    match Rsim_faults.Faults.control plan ~pid ~nth op with
+    | Rsim_runtime.Fiber.Proceed when nth >= watchdog_budget ->
+      Log.debug (fun k ->
+          k "watchdog: quarantining simulator %d after %d H-operations" pid nth);
+      quarantined :=
+        {
+          sim = pid;
+          at_op = nth;
+          reason =
+            Printf.sprintf "step budget exceeded (%d H-operations >= %d)" nth
+              watchdog_budget;
+        }
+        :: !quarantined;
+      Rsim_runtime.Fiber.Crash
+    | directive -> directive
+  in
+  let fr = Aug.F.run ~max_ops ~control ~sched ~apply:(Aug.apply aug) bodies in
   Log.debug (fun k ->
       k "simulation finished: %d H-operations, all_done=%b" fr.Aug.F.total_ops
         (Array.for_all
@@ -115,26 +166,108 @@ let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ~sched spec =
       Array.for_all
         (function Rsim_runtime.Fiber.Done -> true | _ -> false)
         fr.Aug.F.statuses;
+    report =
+      {
+        events = fr.Aug.F.events;
+        quarantined = List.rev !quarantined;
+        watchdog_budget;
+      };
   }
 
-let validate spec result ~task =
-  let failed =
-    Array.to_list result.statuses
-    |> List.mapi (fun i s -> (i, s))
-    |> List.filter_map (fun (i, s) ->
-           match s with
-           | Rsim_runtime.Fiber.Failed e -> Some (i, Printexc.to_string e)
-           | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> None)
+type invalid =
+  | Simulator_raised of { sim : int; exn : string }
+  | Simulator_crashed of { sims : int list }
+  | Unfinished of { sims : int list }
+  | Missing_output of { sims : int list }
+  | Invalid_output of { reason : string }
+
+let explain = function
+  | Simulator_raised { sim; exn } ->
+    Printf.sprintf "simulator %d raised: %s" sim exn
+  | Simulator_crashed { sims } ->
+    Printf.sprintf "simulator%s %s crashed (or %s quarantined)"
+      (if List.length sims = 1 then "" else "s")
+      (String.concat ", " (List.map string_of_int sims))
+      (if List.length sims = 1 then "was" else "were")
+  | Unfinished { sims } ->
+    Printf.sprintf
+      "simulation did not complete (simulator%s %s still pending — not \
+       wait-free within the budget?)"
+      (if List.length sims = 1 then "" else "s")
+      (String.concat ", " (List.map string_of_int sims))
+  | Missing_output { sims } ->
+    Printf.sprintf "simulator%s %s finished without an output"
+      (if List.length sims = 1 then "" else "s")
+      (String.concat ", " (List.map string_of_int sims))
+  | Invalid_output { reason } -> reason
+
+let sims_with result pred =
+  Array.to_list result.statuses
+  |> List.mapi (fun i s -> (i, s))
+  |> List.filter_map (fun (i, s) -> if pred s then Some i else None)
+
+let validate ?(survivors_only = false) spec result ~task =
+  (* A [Failed] simulator is a bug unless the exception is a modeled
+     fault injection, in which case it is a crash. *)
+  let raised =
+    sims_with result (function
+      | Rsim_runtime.Fiber.Failed e -> not (Rsim_faults.Faults.is_injected e)
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+      | Rsim_runtime.Fiber.Crashed -> false)
   in
-  match failed with
-  | (i, e) :: _ -> Error (Printf.sprintf "simulator %d raised: %s" i e)
+  let crashed =
+    sims_with result (function
+      | Rsim_runtime.Fiber.Crashed -> true
+      | Rsim_runtime.Fiber.Failed e -> Rsim_faults.Faults.is_injected e
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> false)
+  in
+  let pending =
+    sims_with result (function
+      | Rsim_runtime.Fiber.Pending -> true
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Failed _
+      | Rsim_runtime.Fiber.Crashed -> false)
+  in
+  let done_ =
+    sims_with result (function
+      | Rsim_runtime.Fiber.Done -> true
+      | Rsim_runtime.Fiber.Pending | Rsim_runtime.Fiber.Failed _
+      | Rsim_runtime.Fiber.Crashed -> false)
+  in
+  match raised with
+  | sim :: _ ->
+    let exn =
+      match result.statuses.(sim) with
+      | Rsim_runtime.Fiber.Failed e -> Printexc.to_string e
+      | _ -> assert false
+    in
+    Error (Simulator_raised { sim; exn })
   | [] ->
-    if not result.all_done then Error "simulation did not complete (not wait-free within the budget?)"
-    else if List.length result.outputs <> spec.f then
-      Error "not every simulator output a value"
-    else
-      Rsim_tasks.Task.check task ~inputs:spec.inputs
-        ~outputs:(List.map snd result.outputs)
+    if (not survivors_only) && crashed <> [] then
+      Error (Simulator_crashed { sims = crashed })
+    else if pending <> [] then Error (Unfinished { sims = pending })
+    else begin
+      (* Survivors are the simulators that ran to completion. Each must
+         have produced an output; the outputs must solve the task against
+         the full input set (a crashed simulator participated — its input
+         may have been adopted before the crash). With [survivors_only]
+         the task is judged on however many outputs the survivors
+         produced; with all simulators surviving that is all [f]. *)
+      let missing =
+        List.filter (fun i -> not (List.mem_assoc i result.outputs)) done_
+      in
+      if missing <> [] then Error (Missing_output { sims = missing })
+      else
+        let outputs =
+          List.filter_map
+            (fun i -> List.assoc_opt i result.outputs)
+            done_
+        in
+        match
+          Rsim_tasks.Task.check task ~inputs:spec.inputs ~outputs
+        with
+        | Ok () -> Ok ()
+        | Error reason -> Error (Invalid_output { reason })
+    end
 
 let architecture spec =
   let b = Buffer.create 256 in

@@ -27,6 +27,17 @@ type spec = {
   inputs : Value.t list;  (** one input per simulator (length [f]) *)
 }
 
+(** A simulator crashed in place by the supervision watchdog. *)
+type quarantine = { sim : int; at_op : int; reason : string }
+
+(** What the fault plane and the supervision layer did during the run. *)
+type fault_report = {
+  events : Rsim_runtime.Fiber.event list;
+      (** injected crashes/restarts/stalls/drops, plus watchdog kills *)
+  quarantined : quarantine list;
+  watchdog_budget : int;  (** per-simulator H-operation budget in force *)
+}
+
 type result = {
   outputs : (int * Value.t) list;  (** simulator pid ↦ output *)
   aug : Rsim_augmented.Aug.t;
@@ -38,6 +49,7 @@ type result = {
   bu_counts : int array;  (** M.Block-Updates applied per simulator *)
   total_ops : int;
   all_done : bool;
+  report : fault_report;
 }
 
 (** The assignment of simulated processes to simulators: covering
@@ -45,15 +57,61 @@ type result = {
     [f−d+j] gets pid [(f−d)·m + j]. *)
 val partition : m:int -> f:int -> d:int -> int array array
 
+(** The default watchdog budget: a generous multiple of Lemma 31's
+    per-simulator step bound (the lemma covers all-covering simulations;
+    direct simulators can legitimately run past the bare bound), capped
+    by [max_ops]. *)
+val default_watchdog : f:int -> m:int -> max_ops:int -> int
+
 (** Run the simulation to completion (or until [max_ops] H-operations).
-    [local_cap] bounds each hidden local simulation. *)
+    [local_cap] bounds each hidden local simulation.
+
+    [faults] (default none) is a fault-plane profile applied at the
+    simulators' H-operation boundary ({!Rsim_faults.Faults}): crashed
+    simulators lose their local state while [H] persists, exactly the
+    paper's crash model. [watchdog] (default {!default_watchdog}) is the
+    supervision step budget: a simulator that performs that many
+    H-operations is diverging and gets quarantined — crashed in place,
+    recorded in [result.report.quarantined] — while the run continues
+    with the others. *)
 val run :
-  ?max_ops:int -> ?local_cap:int -> sched:Schedule.t -> spec -> result
+  ?max_ops:int ->
+  ?local_cap:int ->
+  ?faults:Rsim_faults.Faults.spec list ->
+  ?watchdog:int ->
+  sched:Schedule.t ->
+  spec ->
+  result
+
+(** Why a run's outputs do not validate. [Simulator_crashed] covers
+    injected crashes, injected exceptions and watchdog quarantines —
+    modeled failures, survivable; [Simulator_raised] is an {e unmodeled}
+    exception, i.e. a bug. *)
+type invalid =
+  | Simulator_raised of { sim : int; exn : string }
+  | Simulator_crashed of { sims : int list }
+  | Unfinished of { sims : int list }
+  | Missing_output of { sims : int list }
+  | Invalid_output of { reason : string }
+
+val explain : invalid -> string
 
 (** Check the simulators' outputs against a task, using the simulators'
-    inputs. Fails if any simulator raised, or if not all simulators
-    output. *)
-val validate : spec -> result -> task:Rsim_tasks.Task.t -> (unit, string) Stdlib.result
+    inputs.
+
+    By default any crashed/quarantined simulator invalidates the run
+    ([Simulator_crashed]). With [~survivors_only:true] the crash-fault
+    model applies: crashed simulators are excused, and the task is
+    checked over the surviving simulators' outputs against the full
+    input set (a crashed simulator's input may have been adopted before
+    it died) — task validity among survivors instead of all-or-nothing.
+    A simulator that raised an unmodeled exception is never excused. *)
+val validate :
+  ?survivors_only:bool ->
+  spec ->
+  result ->
+  task:Rsim_tasks.Task.t ->
+  (unit, invalid) Stdlib.result
 
 (** ASCII rendering of Figure 1 for this spec. *)
 val architecture : spec -> string

@@ -11,7 +11,8 @@ let no_failures (result : Aug.F.result) =
   Array.iter
     (function
       | Rsim_runtime.Fiber.Failed e -> raise e
-      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+      | Rsim_runtime.Fiber.Crashed -> ())
     result.statuses
 
 (* ---- solo behaviour ---- *)

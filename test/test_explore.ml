@@ -3,8 +3,10 @@ open Rsim_shmem
 open Rsim_augmented
 open Rsim_explore
 
-let get_builtin ?inject ?oracles name ~f ~m =
-  match Explore.Aug_target.builtin ?inject ?oracles ~name ~f ~m () with
+module Faults = Rsim_faults.Faults
+
+let get_builtin ?inject ?faults ?oracles name ~f ~m =
+  match Explore.Aug_target.builtin ?inject ?faults ?oracles ~name ~f ~m () with
   | Some w -> w
   | None -> Alcotest.failf "unknown builtin workload %s" name
 
@@ -136,9 +138,11 @@ let test_seeded_skip_yield_check () =
 let test_json_roundtrip_is_identity () =
   let art =
     {
-      Artifact.workload = "bu-scan";
+      Artifact.version = Artifact.current_version;
+      workload = "bu-scan";
       params = [ ("f", 3); ("m", 2) ];
       inject = None;
+      faults = Some "crash@1:3,stall@0:2*4";
       max_steps = 40;
       errors = [ "spec: \"quoted\" error\nwith a newline"; "plain" ];
       original = [ 0; 1; 2; 1; 0 ];
@@ -236,6 +240,202 @@ let test_crash_spec_across_cutoffs () =
     check_crash_spec (Printf.sprintf "crash after %d" crash_after) aug result
   done
 
+(* ---- fault plane: injected crashes, drops, blocking bugs ---- *)
+
+let test_exhaustive_crash_at_every_step () =
+  (* The issue's acceptance criterion: exhaustive f=2 m=2 exploration
+     with one injected crash at every possible (process, op-index) — the
+     full spec, the progress oracle and the crash-robustness oracle must
+     all stay green. A Block-Update is 6 H-operations, so every crash
+     site is some [crash@pid:k] with k in 0..5. *)
+  let total = ref 0 in
+  for pid = 0 to 1 do
+    for k = 0 to 5 do
+      let faults = [ { Faults.pid; at_op = k; action = Faults.Crash } ] in
+      let w =
+        get_builtin ~faults
+          ~oracles:
+            Explore.Aug_target.(default_oracles @ [ crash_robust ])
+          "bu-conflict" ~f:2 ~m:2
+      in
+      let rep = Explore.exhaustive ~max_steps:12 w in
+      (match rep.Explore.violations with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "crash@%d:%d violates: %s" pid k
+          (String.concat "; " v.Explore.errors));
+      total := !total + rep.Explore.complete + rep.Explore.truncated
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "substantial coverage (%d executions)" !total)
+    true (!total > 2_000)
+
+let test_progress_catches_spin_on_yield () =
+  (* Seeded blocking bug: [Spin_on_yield] makes the Block-Update busy-wait
+     instead of yielding when a lower-identifier update intervenes — no
+     safety oracle can see it (nothing wrong is ever written), only the
+     progress oracle. On this script q1 scans Line 2, q0 appends its X,
+     and q1 then spins forever. *)
+  let w = get_builtin ~inject:Aug.Spin_on_yield "bu-conflict" ~f:2 ~m:2 in
+  let script = [ 1; 0; 0 ] @ List.init 60 (fun _ -> 1) in
+  let out = Explore.replay w ~max_steps:100 ~script in
+  Alcotest.(check bool) "progress oracle fires" true
+    (any_error ~sub:"progress" out.Explore.errors);
+  Alcotest.(check bool) "blamed as blocking" true
+    (any_error ~sub:"blocking" out.Explore.errors)
+
+let test_sweep_finds_spin_on_yield () =
+  (* The randomized sweep must find the blocking bug on its own, shrink
+     it to a 1-minimal script, and the artifact must reproduce it. *)
+  let w = get_builtin ~inject:Aug.Spin_on_yield "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.sweep ~domains:2 ~max_steps:120 ~budget:400 ~seed:3 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "sweep missed the seeded blocking bug"
+  | v :: _ ->
+    Alcotest.(check bool) "errors blame progress" true
+      (any_error ~sub:"progress" v.Explore.errors);
+    List.iteri
+      (fun i _ ->
+        let script = List.filteri (fun j _ -> j <> i) v.Explore.script in
+        let out = Explore.replay w ~max_steps:120 ~script in
+        Alcotest.(check (list string))
+          (Printf.sprintf "dropping step %d makes it pass (1-minimal)" i)
+          [] out.Explore.errors)
+      v.Explore.script;
+    let art = Artifact.of_violation ~workload:w ~max_steps:120 v in
+    let path = Filename.temp_file "rsim-spin" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Artifact.save ~path art;
+        match Artifact.load ~path with
+        | Error e -> Alcotest.failf "artifact failed to load: %s" e
+        | Ok art' -> (
+          Alcotest.(check (option string)) "inject survives the round trip"
+            (Some "spin-on-yield") art'.Artifact.inject;
+          match Artifact.to_workload art' with
+          | Error e -> Alcotest.failf "artifact failed to rebuild: %s" e
+          | Ok w' ->
+            let out =
+              Explore.replay w' ~max_steps:art'.Artifact.max_steps
+                ~script:art'.Artifact.script
+            in
+            Alcotest.(check bool) "replay from artifact reproduces" true
+              (any_error ~sub:"progress" out.Explore.errors)))
+
+let test_dropped_helping_write_caught () =
+  (* Seeded dropped-write fault: [drop@1:3] swallows q1's Line-7 helping
+     append (its L-records) while q1 itself carries on none the wiser.
+     Concurrent Block-Updates then disagree about the linearization
+     window, which the window lemmas (18/19) flag. The counterexample
+     must shrink 1-minimal, persist with its fault profile, and replay
+     from the artifact alone. *)
+  let faults =
+    match Faults.of_string "drop@1:3" with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "fault grammar rejected drop@1:3: %s" e
+  in
+  let w = get_builtin ~faults "bu-conflict" ~f:2 ~m:2 in
+  let rep = Explore.exhaustive ~max_steps:14 w in
+  match rep.Explore.violations with
+  | [] -> Alcotest.fail "dropped helping write was not caught"
+  | v :: _ ->
+    Alcotest.(check bool) "errors blame a window lemma" true
+      (any_error ~sub:"Lemma" v.Explore.errors);
+    List.iteri
+      (fun i _ ->
+        let script = List.filteri (fun j _ -> j <> i) v.Explore.script in
+        let out = Explore.replay w ~max_steps:14 ~script in
+        Alcotest.(check (list string))
+          (Printf.sprintf "dropping step %d makes it pass (1-minimal)" i)
+          [] out.Explore.errors)
+      v.Explore.script;
+    let art = Artifact.of_violation ~workload:w ~max_steps:14 v in
+    Alcotest.(check (option string)) "artifact carries the fault profile"
+      (Some "drop@1:3") art.Artifact.faults;
+    let path = Filename.temp_file "rsim-drop" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Artifact.save ~path art;
+        match Artifact.load ~path with
+        | Error e -> Alcotest.failf "artifact failed to load: %s" e
+        | Ok art' -> (
+          Alcotest.(check (option string)) "fault survives the round trip"
+            (Some "drop@1:3") art'.Artifact.faults;
+          match Artifact.to_workload art' with
+          | Error e -> Alcotest.failf "artifact failed to rebuild: %s" e
+          | Ok w' ->
+            let out =
+              Explore.replay w' ~max_steps:art'.Artifact.max_steps
+                ~script:art'.Artifact.script
+            in
+            Alcotest.(check bool) "replay from artifact reproduces" true
+              (any_error ~sub:"Lemma" out.Explore.errors)))
+
+let test_racing_crashy_survivors () =
+  (* Crash one simulator of the Theorem 21 simulation: with the
+     survivors-only consensus oracle and the progress oracle the sweep
+     must stay green — the crash model is survivable by design. *)
+  let faults = Faults.resolve ~n_procs:2 ~seed:11 "crashy" in
+  let faults =
+    match faults with
+    | Ok fs -> fs
+    | Error e -> Alcotest.failf "crashy profile failed to resolve: %s" e
+  in
+  let w = Explore.Harness_target.racing ~faults ~n:4 ~m:2 ~f:2 ~d:0 () in
+  let rep = Explore.sweep ~domains:2 ~max_steps:400 ~budget:60 ~seed:7 w in
+  Alcotest.(check (list (list int)))
+    "crashy racing sweep is violation-free" []
+    (List.map (fun v -> v.Explore.script) rep.Explore.violations)
+
+(* ---- artifact versioning ---- *)
+
+let test_artifact_v1_backward_compat () =
+  (* A pre-versioned (v1) artifact — no "version", no "faults" — must
+     still load, as version 1 with an empty fault profile. *)
+  let v1_json =
+    {|{
+  "workload": "bu-conflict",
+  "params": {"f": 2, "m": 2},
+  "inject": "yield-on-higher",
+  "max_steps": 12,
+  "errors": ["theorem20: process 0 yielded"],
+  "original": [0, 1, 1, 0],
+  "script": [0, 1]
+}|}
+  in
+  match Artifact.of_json v1_json with
+  | Error e -> Alcotest.failf "v1 artifact failed to load: %s" e
+  | Ok art ->
+    Alcotest.(check int) "read as version 1" 1 art.Artifact.version;
+    Alcotest.(check (option string)) "no fault profile" None art.Artifact.faults;
+    Alcotest.(check bool) "workload still rebuilds" true
+      (Result.is_ok (Artifact.to_workload art))
+
+let test_artifact_unsupported_version () =
+  (* An artifact from a newer writer must be refused with a distinct
+     error (the CLI turns this into exit code 2, not 1). *)
+  let art =
+    {
+      Artifact.version = 99;
+      workload = "bu-conflict";
+      params = [ ("f", 2); ("m", 2) ];
+      inject = None;
+      faults = None;
+      max_steps = 12;
+      errors = [];
+      original = [];
+      script = [];
+    }
+  in
+  match Artifact.of_json (Artifact.to_json art) with
+  | Ok _ -> Alcotest.fail "version 99 artifact should not load"
+  | Error e ->
+    Alcotest.(check bool) "error names the unsupported version" true
+      (contains ~sub:"unsupported artifact version" e)
+
 (* ---- linearizable oracle over full explorations ---- *)
 
 let test_linearizable_oracle_exhaustive () =
@@ -288,6 +488,26 @@ let () =
             test_crash_after_x;
           Alcotest.test_case "spec holds at every cutoff" `Quick
             test_crash_spec_across_cutoffs;
+        ] );
+      ( "fault plane",
+        [
+          Alcotest.test_case "crash at every step stays green" `Quick
+            test_exhaustive_crash_at_every_step;
+          Alcotest.test_case "progress oracle catches spin-on-yield" `Quick
+            test_progress_catches_spin_on_yield;
+          Alcotest.test_case "sweep finds + shrinks + replays spin-on-yield"
+            `Quick test_sweep_finds_spin_on_yield;
+          Alcotest.test_case "dropped helping write caught + replayed" `Quick
+            test_dropped_helping_write_caught;
+          Alcotest.test_case "crashy racing sweep, survivors green" `Quick
+            test_racing_crashy_survivors;
+        ] );
+      ( "artifact versioning",
+        [
+          Alcotest.test_case "v1 artifact still loads" `Quick
+            test_artifact_v1_backward_compat;
+          Alcotest.test_case "newer version refused" `Quick
+            test_artifact_unsupported_version;
         ] );
       ( "linearizability",
         [

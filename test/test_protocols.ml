@@ -363,7 +363,8 @@ let run_sa ~f ~sched ~bodies_of =
   Array.iter
     (function
       | Rsim_runtime.Fiber.Failed e -> raise e
-      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+      | Rsim_runtime.Fiber.Crashed -> ())
     result.Safe_agreement.F.statuses;
   result
 

@@ -6,7 +6,8 @@ let no_failures (result : Regsnap.F.result) =
   Array.iter
     (function
       | Rsim_runtime.Fiber.Failed e -> raise e
-      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending -> ())
+      | Rsim_runtime.Fiber.Done | Rsim_runtime.Fiber.Pending
+      | Rsim_runtime.Fiber.Crashed -> ())
     result.statuses
 
 (* Run bodies that receive the shared snapshot. *)

@@ -117,6 +117,163 @@ let test_no_op_fiber () =
   Alcotest.(check int) "zero ops" 0 result.F.total_ops;
   Alcotest.(check bool) "done" true (result.F.statuses.(0) = Fiber.Done)
 
+(* ---- the fault boundary: directives at the apply point ---- *)
+
+(* Fire-once, like a compiled Faults.plan: a stalled operation keeps its
+   [nth], so a naive hook would re-stall it forever; and [nth] is
+   cumulative across restarts, so a naive hook would re-crash every
+   incarnation at the same op. *)
+let control_at ~pid:vp ~nth:vn directive =
+  let fired = ref false in
+  fun ~pid ~nth _op ->
+    if (not !fired) && pid = vp && nth = vn then begin
+      fired := true;
+      directive
+    end
+    else Fiber.Proceed
+
+let test_directive_crash () =
+  (* Crashing fiber 0 at its 2nd op loses its remaining increments but
+     keeps the ones already applied: local state dies, memory persists. *)
+  let state, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:2 Fiber.Crash)
+      ~sched:(Schedule.solo 0) ~apply
+      [ (fun _ -> for _ = 1 to 10 do increment () done); (fun _ -> ()) ]
+  in
+  Alcotest.(check bool) "status Crashed" true
+    (result.F.statuses.(0) = Fiber.Crashed);
+  Alcotest.(check int) "writes before the crash persist" 2 !state;
+  Alcotest.(check bool) "crash event recorded" true
+    (List.exists
+       (function
+         | Fiber.Ev_crash { pid = 0; restarting = false; _ } -> true
+         | _ -> false)
+       result.F.events)
+
+let test_directive_crash_restart () =
+  (* Fiber 0 increments 3 times; crash-restarting it after its 2nd op
+     relaunches the body from scratch, so the counter sees 2 + 3. *)
+  let state, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:2 (Fiber.Crash_restart { delay = 1 }))
+      ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment (); increment (); increment ()) ]
+  in
+  Alcotest.(check bool) "restarted fiber finishes" true
+    (result.F.statuses.(0) = Fiber.Done);
+  Alcotest.(check int) "local state lost, memory kept: 2 + 3" 5 !state;
+  Alcotest.(check bool) "restart event recorded" true
+    (List.exists
+       (function
+         | Fiber.Ev_restart { pid = 0; incarnation = 1; _ } -> true
+         | _ -> false)
+       result.F.events)
+
+let test_restart_cap () =
+  (* A fiber that is crash-restarted on its first op every time burns
+     through max_restarts incarnations and stays Crashed. *)
+  let _, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(fun ~pid:_ ~nth:_ _ -> Fiber.Crash_restart { delay = 1 })
+      ~max_restarts:3 ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment ()) ]
+  in
+  Alcotest.(check bool) "ends Crashed" true
+    (result.F.statuses.(0) = Fiber.Crashed);
+  let restarts =
+    List.length
+      (List.filter
+         (function Fiber.Ev_restart _ -> true | _ -> false)
+         result.F.events)
+  in
+  Alcotest.(check int) "restarted exactly max_restarts times" 3 restarts
+
+let test_directive_stall () =
+  (* Under round-robin, stalling fiber 0 for 4 decisions hides it from
+     the scheduler: fiber 1 runs its ops first, then fiber 0 resumes. *)
+  let _, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:0 (Fiber.Stall { steps = 4 }))
+      ~sched:Schedule.round_robin ~apply
+      [
+        (fun _ -> increment (); increment ());
+        (fun _ -> increment (); increment ());
+      ]
+  in
+  Alcotest.(check bool) "both finish" true
+    (result.F.statuses.(0) = Fiber.Done && result.F.statuses.(1) = Fiber.Done);
+  let pids = List.map (fun (e : F.trace_entry) -> e.pid) result.F.trace in
+  Alcotest.(check (list int)) "fiber 1 overtakes the stalled fiber"
+    [ 1; 1; 0; 0 ] pids
+
+let test_stall_only_waiting_fast_forwards () =
+  (* A lone stalled fiber must not deadlock the run: the clock fast
+     forwards to its wake-up. *)
+  let state, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:1 (Fiber.Stall { steps = 50 }))
+      ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment (); increment ()) ]
+  in
+  Alcotest.(check bool) "finishes despite the stall" true
+    (result.F.statuses.(0) = Fiber.Done);
+  Alcotest.(check int) "both increments land" 2 !state
+
+let test_directive_replace () =
+  (* Replacing an Incr with a Get models a dropped write: the fiber sees
+     a result of the expected type but memory is untouched. *)
+  let state, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:1 (Fiber.Replace Counter_ops.Get))
+      ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment (); increment (); increment ()) ]
+  in
+  Alcotest.(check bool) "fiber completes" true
+    (result.F.statuses.(0) = Fiber.Done);
+  Alcotest.(check int) "the dropped increment never lands" 2 !state;
+  Alcotest.(check bool) "replace event recorded" true
+    (List.exists
+       (function Fiber.Ev_replace { pid = 0; _ } -> true | _ -> false)
+       result.F.events)
+
+let test_directive_raise () =
+  let exception Boom in
+  let _, apply = make_counter () in
+  let result =
+    F.run
+      ~control:(control_at ~pid:0 ~nth:0 (Fiber.Raise Boom))
+      ~sched:Schedule.round_robin ~apply
+      [ (fun _ -> increment ()); (fun _ -> increment ()) ]
+  in
+  (match result.F.statuses.(0) with
+  | Fiber.Failed Boom -> ()
+  | _ -> Alcotest.fail "expected Failed Boom");
+  Alcotest.(check bool) "other fiber unaffected" true
+    (result.F.statuses.(1) = Fiber.Done)
+
+let test_faults_determinism () =
+  (* Same bodies, schedule and control: identical traces and events. *)
+  let go () =
+    let _, apply = make_counter () in
+    let result =
+      F.run
+        ~control:(control_at ~pid:1 ~nth:1 (Fiber.Crash_restart { delay = 2 }))
+        ~sched:(Schedule.random ~seed:7)
+        ~apply
+        (List.init 3 (fun _ -> fun _ -> for _ = 1 to 4 do increment () done))
+    in
+    ( List.map (fun (e : F.trace_entry) -> e.pid) result.F.trace,
+      List.length result.F.events )
+  in
+  Alcotest.(check bool) "deterministic under faults" true (go () = go ())
+
 let prop_total_equals_sum =
   QCheck.Test.make ~name:"total ops = sum of per-fiber ops" ~count:50
     QCheck.(pair (int_bound 1000) (int_range 1 4))
@@ -144,6 +301,21 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "per-fiber counts" `Quick test_ops_counted_per_fiber;
           Alcotest.test_case "no-op fiber" `Quick test_no_op_fiber;
+        ] );
+      ( "fault boundary",
+        [
+          Alcotest.test_case "crash directive" `Quick test_directive_crash;
+          Alcotest.test_case "crash-restart directive" `Quick
+            test_directive_crash_restart;
+          Alcotest.test_case "restart cap" `Quick test_restart_cap;
+          Alcotest.test_case "stall directive" `Quick test_directive_stall;
+          Alcotest.test_case "stall fast-forward" `Quick
+            test_stall_only_waiting_fast_forwards;
+          Alcotest.test_case "replace (dropped write)" `Quick
+            test_directive_replace;
+          Alcotest.test_case "raise directive" `Quick test_directive_raise;
+          Alcotest.test_case "determinism under faults" `Quick
+            test_faults_determinism;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_total_equals_sum ]);
     ]

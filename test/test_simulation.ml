@@ -119,7 +119,7 @@ let test_single_covering () =
   Alcotest.(check bool) "all done" true r.Harness.all_done;
   (match Harness.validate spec r ~task:Task.consensus with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "invalid: %s" e);
+  | Error e -> Alcotest.failf "invalid: %s" (Harness.explain e));
   let rep = Analysis.check spec r in
   if not rep.Analysis.ok then
     Alcotest.failf "analysis: %a" Analysis.pp_report rep
@@ -165,7 +165,7 @@ let run_and_check_everything ?(require_valid = None) spec seed =
   | Some task -> (
     match Harness.validate spec r ~task with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "task (seed %d): %s" seed e)
+    | Error e -> Alcotest.failf "task (seed %d): %s" seed (Harness.explain e))
   | None -> ());
   r
 
@@ -257,7 +257,7 @@ let test_sufficient_space_no_witness () =
       let r = Harness.run ~sched:(Schedule.random ~seed) spec in
       match Harness.validate spec r ~task:Task.consensus with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "unexpected violation: %s" e)
+      | Error e -> Alcotest.failf "unexpected violation: %s" (Harness.explain e))
     (List.init 50 Fun.id)
 
 let test_all_direct_simulators () =
@@ -404,7 +404,7 @@ let test_approx_through_simulation () =
   let r = Harness.run ~sched:Schedule.round_robin spec in
   (match Harness.validate spec r ~task:(Task.approx ~eps) with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "approx invalid: %s" e);
+  | Error e -> Alcotest.failf "approx invalid: %s" (Harness.explain e));
   let rep = Analysis.check spec r in
   if not rep.Analysis.ok then Alcotest.failf "analysis: %a" Analysis.pp_report rep
 
@@ -445,6 +445,153 @@ let prop_simulation_deterministic =
         (r.Harness.outputs, r.Harness.total_ops)
       in
       go () = go ())
+
+(* ---- fault plane and supervision ---- *)
+
+let crash_spec_at ~pid ~at_op =
+  [ { Rsim_faults.Faults.pid; at_op; action = Rsim_faults.Faults.Crash } ]
+
+let test_crashed_simulator_strict_vs_survivors () =
+  (* Crash simulator 1 at its 2nd H-operation. Strict validation must
+     report the crash; survivor validation must excuse it and accept the
+     survivor's consensus output. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r =
+    Harness.run
+      ~faults:(crash_spec_at ~pid:1 ~at_op:2)
+      ~sched:Schedule.round_robin spec
+  in
+  Alcotest.(check bool) "simulator 1 crashed" true
+    (r.Harness.statuses.(1) = Rsim_runtime.Fiber.Crashed);
+  Alcotest.(check bool) "simulator 0 survived" true
+    (r.Harness.statuses.(0) = Rsim_runtime.Fiber.Done);
+  Alcotest.(check bool) "crash event in the report" true
+    (List.exists
+       (function Rsim_runtime.Fiber.Ev_crash { pid = 1; _ } -> true | _ -> false)
+       r.Harness.report.Harness.events);
+  (match Harness.validate spec r ~task:Task.consensus with
+  | Error (Harness.Simulator_crashed { sims = [ 1 ] }) -> ()
+  | Error e -> Alcotest.failf "expected Simulator_crashed: %s" (Harness.explain e)
+  | Ok () -> Alcotest.fail "strict validation must flag the crash");
+  match Harness.validate ~survivors_only:true spec r ~task:Task.consensus with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "survivors validation should pass: %s" (Harness.explain e)
+
+let test_crash_at_every_op_survivor_valid () =
+  (* The paper's crash model, swept: kill simulator 1 at each of its
+     first 12 H-operations in turn; the survivor must always finish and
+     its output must solve consensus among survivors. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  for at_op = 0 to 11 do
+    let r =
+      Harness.run
+        ~faults:(crash_spec_at ~pid:1 ~at_op)
+        ~sched:Schedule.round_robin spec
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "survivor done (crash at %d)" at_op)
+      true
+      (r.Harness.statuses.(0) = Rsim_runtime.Fiber.Done);
+    match Harness.validate ~survivors_only:true spec r ~task:Task.consensus with
+    | Ok () -> ()
+    | Error e ->
+      Alcotest.failf "crash at op %d: %s" at_op (Harness.explain e)
+  done
+
+let test_stalled_simulator_still_validates () =
+  (* A transient stall is not a crash: the stalled simulator wakes up,
+     finishes, and strict validation passes. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r =
+    Harness.run
+      ~faults:
+        [
+          {
+            Rsim_faults.Faults.pid = 0;
+            at_op = 1;
+            action = Rsim_faults.Faults.Stall { steps = 7 };
+          };
+        ]
+      ~sched:Schedule.round_robin spec
+  in
+  Alcotest.(check bool) "all done despite the stall" true r.Harness.all_done;
+  Alcotest.(check bool) "stall event recorded" true
+    (List.exists
+       (function Rsim_runtime.Fiber.Ev_stall { pid = 0; _ } -> true | _ -> false)
+       r.Harness.report.Harness.events);
+  match Harness.validate spec r ~task:Task.consensus with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stall should be harmless: %s" (Harness.explain e)
+
+let test_watchdog_quarantine () =
+  (* An absurdly small step budget quarantines every simulator; the run
+     must still terminate and report the quarantines as crashes. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r = Harness.run ~watchdog:3 ~sched:Schedule.round_robin spec in
+  Alcotest.(check bool) "someone was quarantined" true
+    (r.Harness.report.Harness.quarantined <> []);
+  List.iter
+    (fun (q : Harness.quarantine) ->
+      Alcotest.(check bool) "quarantined at the budget" true (q.Harness.at_op >= 3);
+      Alcotest.(check bool) "reason names the budget" true
+        (let s = q.Harness.reason in
+         let rec has i =
+           i + 6 <= String.length s && (String.sub s i 6 = "budget" || has (i + 1))
+         in
+         has 0))
+    r.Harness.report.Harness.quarantined;
+  match Harness.validate spec r ~task:Task.consensus with
+  | Error (Harness.Simulator_crashed _) -> ()
+  | Error e -> Alcotest.failf "expected Simulator_crashed: %s" (Harness.explain e)
+  | Ok () -> Alcotest.fail "quarantine must fail strict validation"
+
+let test_default_watchdog_bound () =
+  (* The default budget scales with Lemma 31's step bound and is capped
+     by max_ops. *)
+  let b = Harness.default_watchdog ~f:2 ~m:2 ~max_ops:2_000_000 in
+  Alcotest.(check bool) "at least Lemma 31's bound" true
+    (b >= Complexity.step_bound ~f:2 ~m:2);
+  Alcotest.(check bool) "finite (not the op budget)" true (b < 2_000_000);
+  Alcotest.(check int) "capped by max_ops" 100
+    (Harness.default_watchdog ~f:4 ~m:4 ~max_ops:100);
+  (* a clean run never trips the default watchdog *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r = Harness.run ~sched:Schedule.round_robin spec in
+  Alcotest.(check bool) "no quarantines on a clean run" true
+    (r.Harness.report.Harness.quarantined = []);
+  Alcotest.(check int) "budget recorded in the report" b
+    r.Harness.report.Harness.watchdog_budget
+
+let test_injected_exception_is_a_crash () =
+  (* raise@P:K delivers Faults.Injected, which validation treats as a
+     modeled crash — excusable with survivors_only — not as a bug. *)
+  let spec = racing_spec ~n:4 ~m:2 ~f:2 ~d:0 [ i 1; i 2 ] in
+  let r =
+    Harness.run
+      ~faults:
+        [
+          {
+            Rsim_faults.Faults.pid = 1;
+            at_op = 2;
+            action = Rsim_faults.Faults.Raise_exn;
+          };
+        ]
+      ~sched:Schedule.round_robin spec
+  in
+  (match r.Harness.statuses.(1) with
+  | Rsim_runtime.Fiber.Failed e ->
+    Alcotest.(check bool) "the injected exception" true
+      (Rsim_faults.Faults.is_injected e)
+  | _ -> Alcotest.fail "expected Failed (Injected _)");
+  (match Harness.validate spec r ~task:Task.consensus with
+  | Error (Harness.Simulator_crashed { sims = [ 1 ] }) -> ()
+  | Error e ->
+    Alcotest.failf "expected Simulator_crashed: %s" (Harness.explain e)
+  | Ok () -> Alcotest.fail "strict validation must flag the injected crash");
+  match Harness.validate ~survivors_only:true spec r ~task:Task.consensus with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "survivors should pass: %s" (Harness.explain e)
 
 let () =
   Alcotest.run "simulation"
@@ -504,6 +651,20 @@ let () =
         [
           Alcotest.test_case "approx through simulation" `Quick
             test_approx_through_simulation;
+        ] );
+      ( "fault plane",
+        [
+          Alcotest.test_case "strict vs survivors validation" `Quick
+            test_crashed_simulator_strict_vs_survivors;
+          Alcotest.test_case "crash at every op, survivor valid" `Quick
+            test_crash_at_every_op_survivor_valid;
+          Alcotest.test_case "stall is harmless" `Quick
+            test_stalled_simulator_still_validates;
+          Alcotest.test_case "watchdog quarantine" `Quick test_watchdog_quarantine;
+          Alcotest.test_case "default watchdog bound" `Quick
+            test_default_watchdog_bound;
+          Alcotest.test_case "injected exception is a crash" `Quick
+            test_injected_exception_is_a_crash;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
