@@ -240,7 +240,77 @@ let explore_throughput () =
         (Unix.gettimeofday () -. t0))
     [ 1; 2; 4 ]
 
+(* -------- observability snapshot: BENCH_obs.json -------- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Measure what the observability plane costs and what it reports:
+   sweep schedules/sec with the tracer off (the default) and on
+   (sampled), and raw augmented-snapshot op throughput. Written to
+   BENCH_obs.json so CI can track the obs-on overhead and the
+   throughput numbers across commits. *)
+let obs_snapshot () =
+  let w = explore_workload () in
+  let budget = 1024 and max_steps = 60 in
+  let sweep () = Explore.sweep ~domains:1 ~max_steps ~budget ~seed:31 w in
+  ignore (sweep ());
+  (* warmed up *)
+  let rep_off, dt_off = time sweep in
+  Obs.Trace.start ~sample:16 ();
+  let _, dt_on = time sweep in
+  Obs.Trace.stop ();
+  let trace_events = Obs.Trace.length () in
+  Obs.Trace.clear ();
+  let n_runs = 2048 in
+  let total_ops, dt_ops =
+    time (fun () ->
+        let total = ref 0 in
+        for _ = 1 to n_runs do
+          let r = bu_run () in
+          total := !total + r.Aug.F.total_ops
+        done;
+        !total)
+  in
+  let rate n dt = if dt > 0. then float_of_int n /. dt else nan in
+  let sched_off = rate rep_off.Explore.executions dt_off in
+  let sched_on = rate rep_off.Explore.executions dt_on in
+  let overhead_pct =
+    if dt_off > 0. then (dt_on -. dt_off) /. dt_off *. 100. else nan
+  in
+  let j =
+    Obs.Json.Obj
+      [
+        ("sweep_budget", Obs.Json.Int budget);
+        ("sweep_max_steps", Obs.Json.Int max_steps);
+        ("schedules_per_sec_obs_off", Obs.Json.Float sched_off);
+        ("schedules_per_sec_obs_on", Obs.Json.Float sched_on);
+        ("obs_on_overhead_pct", Obs.Json.Float overhead_pct);
+        ("trace_events", Obs.Json.Int trace_events);
+        ("bu_runs", Obs.Json.Int n_runs);
+        ("aug_ops_per_sec", Obs.Json.Float (rate total_ops dt_ops));
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Obs.Json.to_string_pretty j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "%-36s %10.0f scheds/s\n%-36s %10.0f scheds/s (%+.1f%%)\n%-36s %10.0f ops/s\n"
+    "sweep obs-off" sched_off "sweep obs-on (trace, 1/16 sampled)" sched_on
+    overhead_pct "augmented-snapshot H ops" (rate total_ops dt_ops);
+  print_endline "wrote BENCH_obs.json"
+
 let () =
+  if Array.exists (( = ) "--obs-only") Sys.argv then begin
+    print_endline "======================================================";
+    print_endline " Observability snapshot (BENCH_obs.json)";
+    print_endline "======================================================";
+    obs_snapshot ();
+    exit 0
+  end;
   print_endline "======================================================";
   print_endline " Experiment tables (EXPERIMENTS.md, E1..E10)";
   print_endline "======================================================";
@@ -255,4 +325,9 @@ let () =
   print_endline "======================================================";
   print_endline " Explorer throughput (schedules per second)";
   print_endline "======================================================";
-  explore_throughput ()
+  explore_throughput ();
+  print_newline ();
+  print_endline "======================================================";
+  print_endline " Observability snapshot (BENCH_obs.json)";
+  print_endline "======================================================";
+  obs_snapshot ()

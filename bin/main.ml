@@ -2,6 +2,46 @@
 
 open Core
 open Cmdliner
+module Log = Obs.Log
+
+(* ---------------- shared observability options ---------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json); ("pretty", `Pretty) ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print run telemetry before exiting: $(b,json) emits one compact \
+           JSON object as the final stdout line (machine-extractable even \
+           when mixed with regular output); $(b,pretty) prints a readable \
+           dump of every non-zero metric.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the run as a Chrome trace_event file — open it in \
+           chrome://tracing or Perfetto (ui.perfetto.dev). If $(docv) ends \
+           in .jsonl, compact JSONL (one event per line) is written instead.")
+
+let obs_start ~trace_out = if trace_out <> None then Obs.Trace.start ()
+
+(* Flush observability outputs. Runs after all of a command's regular
+   output, so a [--metrics json] dump is always the last stdout line. *)
+let obs_finish ~metrics ~trace_out =
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.stop ();
+    Obs.Trace.write ~path ();
+    Log.info (fun k -> k "trace: %d events -> %s" (Obs.Trace.length ()) path));
+  match metrics with
+  | None -> ()
+  | Some `Pretty -> Format.printf "%a@?" Obs.Metrics.pp ()
+  | Some `Json -> print_endline (Obs.Json.to_string (Obs.Metrics.to_json ()))
 
 (* ---------------- bounds ---------------- *)
 
@@ -41,7 +81,8 @@ let simulate_cmd =
   let arch = Arg.(value & flag & info [ "show-architecture" ] ~doc:"Print Figure 1 for this spec.") in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"Run the Aug spec checker and the Lemma 26 replay.") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full run: M-operations, journals, revisions.") in
-  let run n m f d seed arch check trace =
+  let run n m f d seed arch check trace metrics trace_out =
+    obs_start ~trace_out;
     let spec =
       {
         Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
@@ -78,12 +119,15 @@ let simulate_cmd =
         rep.Analysis.stats.Analysis.n_revisions
         rep.Analysis.stats.Analysis.n_hidden_steps;
       if not rep.Analysis.ok then Format.printf "%a@." Analysis.pp_report rep
-    end
+    end;
+    obs_finish ~metrics ~trace_out
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the revisionist simulation of racing consensus (Theorem 21's construction).")
-    Term.(const run $ n $ m $ f $ d $ seed $ arch $ check $ trace)
+    Term.(
+      const run $ n $ m $ f $ d $ seed $ arch $ check $ trace $ metrics_arg
+      $ trace_out_arg)
 
 (* ---------------- witness ---------------- *)
 
@@ -351,55 +395,71 @@ let explore_cmd =
       & info [ "out" ] ~docv:"PATH" ~doc:"Save counterexample artifacts here.")
   in
   let run workload f m n d mode max_steps preemption_bound budget domains seed
-      inject faults max_violations out =
+      inject faults max_violations out metrics trace_out =
     match build_workload ~workload ~f ~m ~n ~d ~inject ~faults ~seed with
     | Error e ->
-      prerr_endline ("rsim explore: " ^ e);
+      Log.err (fun k -> k "explore: %s" e);
       exit 2
-    | Ok w -> (
+    | Ok w ->
+      obs_start ~trace_out;
       (match w.Explore.faults with
       | None -> ()
       | Some profile -> Printf.printf "fault profile: %s\n" profile);
-      match mode with
-      | `Exhaustive ->
-        let max_steps = if max_steps = 0 then 12 else max_steps in
-        let rep =
-          Explore.exhaustive ~max_steps ?preemption_bound ~max_violations w
-        in
-        Printf.printf
-          "exhaustive %s: %d prefixes, %d complete + %d truncated executions \
-           (max %d steps%s)\n"
-          w.Explore.name rep.Explore.prefixes rep.Explore.complete
-          rep.Explore.truncated max_steps
-          (match preemption_bound with
-          | None -> ""
-          | Some b -> Printf.sprintf ", <= %d preemptions" b);
-        List.iteri print_violation rep.Explore.violations;
-        save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
-        if rep.Explore.violations = [] then
-          print_endline "no violations: every explored schedule satisfies the oracles"
-        else exit 1
-      | `Sweep ->
-        let max_steps = if max_steps = 0 then 200 else max_steps in
-        let rep =
-          Explore.sweep ?domains ~max_steps ~max_violations ~budget ~seed w
-        in
-        Printf.printf "sweep %s: %d executions on %d domains (max %d steps)\n"
-          w.Explore.name rep.Explore.executions rep.Explore.domains max_steps;
-        List.iteri print_violation rep.Explore.violations;
-        save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
-        if rep.Explore.violations = [] then
-          print_endline "no violations found"
-        else exit 1)
+      let violations =
+        match mode with
+        | `Exhaustive ->
+          let max_steps = if max_steps = 0 then 12 else max_steps in
+          let rep =
+            Explore.exhaustive ~max_steps ?preemption_bound ~max_violations w
+          in
+          Printf.printf
+            "exhaustive %s: %d prefixes, %d complete + %d truncated executions \
+             (max %d steps%s)\n"
+            w.Explore.name rep.Explore.prefixes rep.Explore.complete
+            rep.Explore.truncated max_steps
+            (match preemption_bound with
+            | None -> ""
+            | Some b -> Printf.sprintf ", <= %d preemptions" b);
+          List.iteri print_violation rep.Explore.violations;
+          save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
+          if rep.Explore.violations = [] then
+            print_endline
+              "no violations: every explored schedule satisfies the oracles";
+          rep.Explore.violations
+        | `Sweep ->
+          let max_steps = if max_steps = 0 then 200 else max_steps in
+          let rep =
+            Explore.sweep ?domains ~max_steps ~max_violations ~budget ~seed w
+          in
+          Printf.printf "sweep %s: %d executions on %d domains (max %d steps)\n"
+            w.Explore.name rep.Explore.executions rep.Explore.domains max_steps;
+          List.iteri print_violation rep.Explore.violations;
+          save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
+          if rep.Explore.violations = [] then print_endline "no violations found";
+          rep.Explore.violations
+      in
+      obs_finish ~metrics ~trace_out;
+      if violations <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Model-check a workload over schedules: exhaustive bounded DFS or \
-          parallel randomized sweeps, with shrinking and replayable artifacts.")
+          parallel randomized sweeps, with shrinking and replayable artifacts."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"no oracle violation was found.";
+           Cmd.Exit.info 1 ~doc:"at least one violation was found.";
+           Cmd.Exit.info 2
+             ~doc:
+               "the workload could not be built (unknown name, bad seeded bug \
+                or fault profile).";
+           Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command-line parse error.";
+         ])
     Term.(
       const run $ workload $ f $ m $ n $ d $ mode $ max_steps $ preemption_bound
-      $ budget $ domains $ seed $ inject $ faults $ max_violations $ out)
+      $ budget $ domains $ seed $ inject $ faults $ max_violations $ out
+      $ metrics_arg $ trace_out_arg)
 
 (* ---------------- replay ---------------- *)
 
@@ -410,17 +470,18 @@ let replay_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ARTIFACT" ~doc:"Counterexample artifact (JSON).")
   in
-  let run path =
+  let run path metrics trace_out =
     match Artifact.load ~path with
     | Error e ->
-      prerr_endline ("rsim replay: " ^ e);
+      Log.err (fun k -> k "replay: %s" e);
       exit 2
     | Ok art -> (
       match Artifact.to_workload art with
       | Error e ->
-        prerr_endline ("rsim replay: " ^ e);
+        Log.err (fun k -> k "replay: %s" e);
         exit 2
       | Ok w ->
+        obs_start ~trace_out;
         Printf.printf "replaying %s%s%s (%d-step script) from %s\n"
           art.Artifact.workload
           (match art.Artifact.inject with
@@ -435,23 +496,92 @@ let replay_cmd =
           Explore.replay w ~max_steps:art.Artifact.max_steps
             ~script:art.Artifact.script
         in
-        if out.Explore.errors = [] then begin
-          print_endline "NOT reproduced: the script passes all oracles";
-          exit 1
-        end
-        else begin
-          print_endline "reproduced:";
-          List.iter (fun e -> Printf.printf "  - %s\n" e) out.Explore.errors
-        end)
+        let code =
+          if out.Explore.errors = [] then begin
+            print_endline "NOT reproduced: the script passes all oracles";
+            1
+          end
+          else begin
+            print_endline "reproduced:";
+            List.iter (fun e -> Printf.printf "  - %s\n" e) out.Explore.errors;
+            0
+          end
+        in
+        obs_finish ~metrics ~trace_out;
+        exit code)
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
-         "Re-run a saved counterexample artifact and confirm it still fails. \
-          Exits 0 if the violation is reproduced, 1 if the script now passes, \
-          and 2 if the artifact cannot be read or rebuilt (unknown workload, \
-          bad fault profile, or a newer schema version).")
-    Term.(const run $ path)
+         "Re-run a saved counterexample artifact and confirm it still fails."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"the violation was reproduced.";
+           Cmd.Exit.info 1 ~doc:"the script now passes all oracles.";
+           Cmd.Exit.info 2
+             ~doc:
+               "the artifact cannot be read or rebuilt: missing file, \
+                directory, unreadable permissions, malformed JSON, unknown \
+                workload, bad fault profile, or a newer schema version.";
+           Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command-line parse error.";
+         ])
+    Term.(const run $ path $ metrics_arg $ trace_out_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT" ~doc:"Counterexample artifact (JSON).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("pretty", `Pretty) ]) `Pretty
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Telemetry format: $(b,pretty) (default) or $(b,json).")
+  in
+  let run path format trace_out =
+    match Artifact.load ~path with
+    | Error e ->
+      Log.err (fun k -> k "stats: %s" e);
+      exit 2
+    | Ok art -> (
+      match Artifact.to_workload art with
+      | Error e ->
+        Log.err (fun k -> k "stats: %s" e);
+        exit 2
+      | Ok w ->
+        (* Telemetry for this run only: zero whatever start-up touched. *)
+        Obs.Metrics.reset ();
+        obs_start ~trace_out;
+        let out =
+          Explore.replay w ~max_steps:art.Artifact.max_steps
+            ~script:art.Artifact.script
+        in
+        Printf.printf "%s: %s %s (%d-step script, %d oracle error(s))\n" path
+          art.Artifact.workload
+          (if out.Explore.errors = [] then "passes" else "reproduces")
+          (List.length art.Artifact.script)
+          (List.length out.Explore.errors);
+        obs_finish ~metrics:(Some format) ~trace_out)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Re-run a saved artifact and print its telemetry: the metrics \
+          registry after the run (counters, gauges, histograms) and, with \
+          $(b,--trace-out), a Chrome trace of the execution. The oracle \
+          verdict does not affect the exit code."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"telemetry was printed.";
+           Cmd.Exit.info 2 ~doc:"the artifact cannot be read or rebuilt.";
+           Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command-line parse error.";
+         ])
+    Term.(const run $ path $ format $ trace_out_arg)
 
 (* ---------------- experiments ---------------- *)
 
@@ -468,7 +598,9 @@ let experiments_cmd =
         Format.printf "=== %s — %s ===@." e.Rsim_experiments.Experiments.id
           e.Rsim_experiments.Experiments.title;
         List.iter print_endline (e.Rsim_experiments.Experiments.run ())
-      | None -> prerr_endline ("unknown experiment: " ^ id))
+      | None ->
+        Log.err (fun k -> k "unknown experiment: %s" id);
+        exit 2)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables (E1..E10).")
@@ -486,14 +618,14 @@ let main_cmd =
       sperner_cmd;
       explore_cmd;
       replay_cmd;
+      stats_cmd;
       experiments_cmd;
     ]
 
 let () =
-  (* RSIM_LOG=debug surfaces the harness's internal logging. *)
-  Logs.set_reporter (Logs.format_reporter ());
-  (match Sys.getenv_opt "RSIM_LOG" with
-  | Some "debug" -> Logs.set_level (Some Logs.Debug)
-  | Some "info" -> Logs.set_level (Some Logs.Info)
-  | Some _ | None -> Logs.set_level (Some Logs.Warning));
+  (* All diagnostics go through the observability plane's logger:
+     errors-only by default, RSIM_LOG=debug|info|warn|error|quiet
+     overrides, always on stderr so machine-readable stdout stays
+     clean. *)
+  Obs.Log.init_from_env ();
   exit (Cmd.eval main_cmd)

@@ -14,6 +14,23 @@ module Ops = struct
 end
 
 module F = Rsim_runtime.Fiber.Make (Ops)
+module Obs = Rsim_obs.Obs
+
+let op_name : Ops.op -> string = function
+  | Ops.Hscan -> "H.scan"
+  | Ops.Happend_triples _ -> "H.append-triples"
+  | Ops.Happend_lrecords _ -> "H.append-lrecords"
+
+(* Always-on M-operation counters (atomic increments, no allocation on
+   the fast path) and the trace spans behind {!Obs.Trace.enabled}. *)
+let m_scans = Obs.Metrics.counter "aug.scan.total"
+let m_scan_retries = Obs.Metrics.counter "aug.scan.retries"
+let m_helping = Obs.Metrics.counter "aug.helping.writes"
+let m_bu = Obs.Metrics.counter "aug.bu.total"
+let m_bu_yield = Obs.Metrics.counter "aug.bu.yield"
+let m_bu_atomic = Obs.Metrics.counter "aug.bu.atomic"
+let h_scan_hops = Obs.Metrics.histogram "aug.scan.hops"
+let h_bu_hops = Obs.Metrics.histogram "aug.bu.hops"
 
 (* How the generic fault plane drops or corrupts H operations: a dropped
    write appends nothing (the writer still sees Ack and believes it
@@ -135,14 +152,26 @@ let scan t ~me =
           (others t ~me)
       in
       let _ = do_op t (Ops.Happend_lrecords recs) in
+      if recs <> [] then Obs.Metrics.incr m_helping;
       incr n_ops
     end;
     let h', idx' = hscan t in
     incr n_ops;
-    if Hrep.equal_triples h h' then (h, idx') else loop h'
+    if Hrep.equal_triples h h' then (h, idx')
+    else begin
+      Obs.Metrics.incr m_scan_retries;
+      loop h'
+    end
   in
   let h, end_idx = loop h0 in
   let view = Hrep.get_view ~m:t.m h in
+  Obs.Metrics.incr m_scans;
+  Obs.Metrics.observe h_scan_hops !n_ops;
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~name:"M.scan" ~pid:me ~ts:first_idx
+      ~dur:(end_idx - first_idx + 1)
+      ~args:[ ("hops", Obs.Json.Int !n_ops) ]
+      ();
   t.rev_log <-
     Scan_op { proc = me; start_idx = first_idx; end_idx; n_ops = !n_ops; view; h }
     :: t.rev_log;
@@ -183,7 +212,7 @@ let block_update t ~me updates =
         (List.init t.f Fun.id)
     in
     let _ = do_op t (Ops.Happend_lrecords recs) in
-    ()
+    if recs <> [] then Obs.Metrics.incr m_helping
   end;
   (* Line 8 *)
   let h', end_idx5 = hscan t in
@@ -210,6 +239,15 @@ let block_update t ~me updates =
     assert false
   end
   else if new_lower then begin
+    let n_ops = if t.helping then 5 else 4 in
+    Obs.Metrics.incr m_bu;
+    Obs.Metrics.incr m_bu_yield;
+    Obs.Metrics.observe h_bu_hops n_ops;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~name:"M.block-update" ~pid:me ~ts:start_idx
+        ~dur:(end_idx5 - start_idx + 1)
+        ~args:[ ("result", Obs.Json.Str "yield") ]
+        ();
     t.rev_log <-
       Bu_op
         {
@@ -219,7 +257,7 @@ let block_update t ~me updates =
           start_idx;
           x_idx;
           end_idx = end_idx5;
-          n_ops = (if t.helping then 5 else 4);
+          n_ops;
           h;
           result = Yield;
         }
@@ -247,6 +285,15 @@ let block_update t ~me updates =
       end
     in
     let view = Hrep.get_view ~m:t.m !last in
+    let n_ops = if t.helping then 6 else 4 in
+    Obs.Metrics.incr m_bu;
+    Obs.Metrics.incr m_bu_atomic;
+    Obs.Metrics.observe h_bu_hops n_ops;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~name:"M.block-update" ~pid:me ~ts:start_idx
+        ~dur:(end_idx - start_idx + 1)
+        ~args:[ ("result", Obs.Json.Str "atomic") ]
+        ();
     t.rev_log <-
       Bu_op
         {
@@ -256,7 +303,7 @@ let block_update t ~me updates =
           start_idx;
           x_idx;
           end_idx;
-          n_ops = (if t.helping then 6 else 4);
+          n_ops;
           h;
           result = Atomic { view; last = !last };
         }

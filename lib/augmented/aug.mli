@@ -54,11 +54,17 @@ module F : sig
     ?max_ops:int ->
     ?control:(pid:int -> nth:int -> Ops.op -> Ops.op Rsim_runtime.Fiber.directive) ->
     ?max_restarts:int ->
+    ?obs_label:(Ops.op -> string) ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> Ops.op -> Ops.res) ->
     (int -> unit) list ->
     result
 end
+
+(** Trace label for an [H] operation (["H.scan"], ["H.append-triples"],
+    ["H.append-lrecords"]) — pass as [F.run ~obs_label:op_name] for
+    readable Chrome-trace lanes. *)
+val op_name : Ops.op -> string
 
 (** The {!Rsim_faults.Faults} adapter for [H] operations: dropped writes
     append nothing, corrupted writes garble the first written value.

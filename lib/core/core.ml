@@ -20,6 +20,8 @@
 
 let version = "1.0.0"
 
+module Obs = Rsim_obs.Obs
+
 module Value = Rsim_value.Value
 module Prng = Rsim_value.Prng
 

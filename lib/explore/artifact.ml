@@ -72,215 +72,54 @@ let to_workload t =
       | _ -> Error "artifact is missing f/m parameters"))
 
 (* ---------------------------------------------------------------- *)
-(* Writing                                                           *)
+(* Serialization (via the observability plane's JSON)                *)
 (* ---------------------------------------------------------------- *)
 
-let esc s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+module J = Rsim_obs.Obs.Json
 
-let ints l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
-
-let strs l =
-  "[" ^ String.concat ", " (List.map (fun s -> "\"" ^ esc s ^ "\"") l) ^ "]"
-
-let opt_str = function None -> "null" | Some s -> "\"" ^ esc s ^ "\""
+let opt_str = function None -> J.Null | Some s -> J.Str s
 
 let to_json t =
-  Printf.sprintf
-    "{\n\
-    \  \"version\": %d,\n\
-    \  \"workload\": \"%s\",\n\
-    \  \"params\": {%s},\n\
-    \  \"inject\": %s,\n\
-    \  \"faults\": %s,\n\
-    \  \"max_steps\": %d,\n\
-    \  \"errors\": %s,\n\
-    \  \"original\": %s,\n\
-    \  \"script\": %s\n\
-     }\n"
-    t.version (esc t.workload)
-    (String.concat ", "
-       (List.map
-          (fun (k, v) -> Printf.sprintf "\"%s\": %d" (esc k) v)
-          t.params))
-    (opt_str t.inject) (opt_str t.faults) t.max_steps (strs t.errors)
-    (ints t.original) (ints t.script)
-
-(* ---------------------------------------------------------------- *)
-(* Reading (minimal JSON subset)                                     *)
-(* ---------------------------------------------------------------- *)
-
-type json =
-  | Null
-  | Jint of int
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Parse of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | None -> fail "unterminated escape"
-        | Some 'n' -> Buffer.add_char b '\n'
-        | Some 't' -> Buffer.add_char b '\t'
-        | Some 'r' -> Buffer.add_char b '\r'
-        | Some c -> Buffer.add_char b c);
-        advance ();
-        go ()
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_int () =
-    skip_ws ();
-    let start = !pos in
-    if peek () = Some '-' then advance ();
-    let rec digits () =
-      match peek () with
-      | Some ('0' .. '9') ->
-        advance ();
-        digits ()
-      | _ -> ()
-    in
-    digits ();
-    if !pos = start then fail "expected an integer";
-    match int_of_string_opt (String.sub s start (!pos - start)) with
-    | Some k -> k
-    | None -> fail "invalid integer"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Jobj []
-      end
-      else begin
-        let rec fields acc =
-          skip_ws ();
-          let k = parse_string () in
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            fields ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((k, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Jobj (fields [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Jarr []
-      end
-      else begin
-        let rec elems acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elems (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Jarr (elems [])
-      end
-    | Some 'n' ->
-      if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
-        pos := !pos + 4;
-        Null
-      end
-      else fail "expected null"
-    | Some ('-' | '0' .. '9') -> Jint (parse_int ())
-    | _ -> fail "unexpected character"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing input";
-  v
+  J.to_string_pretty
+    (J.Obj
+       [
+         ("version", J.Int t.version);
+         ("workload", J.Str t.workload);
+         ("params", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) t.params));
+         ("inject", opt_str t.inject);
+         ("faults", opt_str t.faults);
+         ("max_steps", J.Int t.max_steps);
+         ("errors", J.Arr (List.map (fun e -> J.Str e) t.errors));
+         ("original", J.Arr (List.map (fun i -> J.Int i) t.original));
+         ("script", J.Arr (List.map (fun i -> J.Int i) t.script));
+       ])
+  ^ "\n"
 
 let ( let* ) = Result.bind
 
 let of_json str =
-  match parse str with
-  | exception Parse msg -> Error ("invalid artifact: " ^ msg)
-  | Jobj fields ->
+  match J.parse str with
+  | Error msg -> Error ("invalid artifact: " ^ msg)
+  | Ok (J.Obj fields) ->
     let find k = List.assoc_opt k fields in
     let str_field k =
       match find k with
-      | Some (Jstr s) -> Ok s
+      | Some (J.Str s) -> Ok s
       | _ -> Error ("artifact: missing string field " ^ k)
     in
     let int_field k =
       match find k with
-      | Some (Jint i) -> Ok i
+      | Some (J.Int i) -> Ok i
       | _ -> Error ("artifact: missing integer field " ^ k)
     in
     let int_list k =
       match find k with
-      | Some (Jarr xs) ->
+      | Some (J.Arr xs) ->
         List.fold_left
           (fun acc x ->
             let* acc = acc in
             match x with
-            | Jint i -> Ok (i :: acc)
+            | J.Int i -> Ok (i :: acc)
             | _ -> Error ("artifact: non-integer in " ^ k))
           (Ok []) xs
         |> Result.map List.rev
@@ -288,12 +127,12 @@ let of_json str =
     in
     let str_list k =
       match find k with
-      | Some (Jarr xs) ->
+      | Some (J.Arr xs) ->
         List.fold_left
           (fun acc x ->
             let* acc = acc in
             match x with
-            | Jstr s -> Ok (s :: acc)
+            | J.Str s -> Ok (s :: acc)
             | _ -> Error ("artifact: non-string in " ^ k))
           (Ok []) xs
         |> Result.map List.rev
@@ -302,8 +141,8 @@ let of_json str =
     let* version =
       match find "version" with
       | None -> Ok 1 (* pre-versioned artifacts *)
-      | Some (Jint v) when v >= 1 && v <= current_version -> Ok v
-      | Some (Jint v) ->
+      | Some (J.Int v) when v >= 1 && v <= current_version -> Ok v
+      | Some (J.Int v) ->
         Error
           (Printf.sprintf
              "artifact: unsupported artifact version %d (this build reads up \
@@ -314,12 +153,12 @@ let of_json str =
     let* workload = str_field "workload" in
     let* params =
       match find "params" with
-      | Some (Jobj kvs) ->
+      | Some (J.Obj kvs) ->
         List.fold_left
           (fun acc (k, v) ->
             let* acc = acc in
             match v with
-            | Jint i -> Ok ((k, i) :: acc)
+            | J.Int i -> Ok ((k, i) :: acc)
             | _ -> Error "artifact: non-integer parameter")
           (Ok []) kvs
         |> Result.map List.rev
@@ -327,8 +166,8 @@ let of_json str =
     in
     let opt_str_field k =
       match find k with
-      | Some Null | None -> Ok None
-      | Some (Jstr s) -> Ok (Some s)
+      | Some J.Null | None -> Ok None
+      | Some (J.Str s) -> Ok (Some s)
       | Some _ -> Error ("artifact: " ^ k ^ " must be a string or null")
     in
     let* inject = opt_str_field "inject" in
@@ -349,7 +188,7 @@ let of_json str =
         original;
         script;
       }
-  | _ -> Error "invalid artifact: expected a JSON object"
+  | Ok _ -> Error "invalid artifact: expected a JSON object"
 
 let save ~path t =
   let oc = open_out path in
@@ -357,11 +196,21 @@ let save ~path t =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json t))
 
+(* Robust against every filesystem-shaped failure — [rsim replay] and
+   [rsim stats] turn any [Error] into exit code 2, so a directory, a
+   permission-denied file, or a file truncated mid-read must all land
+   here rather than escape as an exception. *)
 let load ~path =
-  match open_in path with
+  match
+    if Sys.is_directory path then Error (path ^ ": is a directory")
+    else begin
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    end
+  with
+  | Ok contents -> of_json contents
+  | Error e -> Error e
   | exception Sys_error e -> Error e
-  | ic ->
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    of_json contents
+  | exception End_of_file -> Error (path ^ ": truncated read")

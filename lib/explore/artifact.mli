@@ -25,8 +25,10 @@
     distinct error, so [rsim replay] can exit 2 (unreadable) rather than
     1 (violation reproduced).
 
-    The reader/writer below is a tiny hand-rolled JSON subset (objects,
-    arrays, strings, integers, [null]) — deliberately dependency-free. *)
+    Serialization goes through the observability plane's dependency-free
+    {!Rsim_obs.Obs.Json}. {!load} never raises: unreadable paths —
+    including directories and permission-denied files — come back as
+    [Error], which the CLI maps to exit code 2. *)
 
 (** The newest schema this build writes and reads (2). *)
 val current_version : int

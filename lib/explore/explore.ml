@@ -9,6 +9,26 @@ module Analysis = Rsim_simulation.Analysis
 module Faults = Rsim_faults.Faults
 module Task = Rsim_tasks.Task
 module Racing = Rsim_protocols.Racing
+module Obs = Rsim_obs.Obs
+
+(* Engine telemetry, shared by both engines and safe under the sweep's
+   parallel domains (atomic counters). Schedules/sec is the caller's
+   division of [explore.executions] by wall time. *)
+let m_execs = Obs.Metrics.counter "explore.executions"
+let m_viols = Obs.Metrics.counter "explore.violations"
+let m_shrink = Obs.Metrics.counter "explore.shrink.attempts"
+let h_preempt = Obs.Metrics.histogram "explore.preemptions"
+
+(* Context switches away from a pid that appears again later — the
+   preemption depth of an executed schedule. *)
+let preemptions_of script =
+  let rec go last acc = function
+    | [] -> acc
+    | pid :: rest ->
+      if last >= 0 && pid <> last then go pid (acc + 1) rest
+      else go pid acc rest
+  in
+  go (-1) 0 script
 
 (* ---------------------------------------------------------------- *)
 (* Workloads                                                         *)
@@ -44,6 +64,29 @@ module Oracle = struct
   }
 end
 
+(* Verdict counters are registered once per workload build (metric
+   registration takes a lock), then bumped on every judged execution. *)
+let oracle_counters oracles =
+  List.map
+    (fun (o : _ Oracle.t) ->
+      ( o,
+        Obs.Metrics.counter ("explore.oracle." ^ o.Oracle.name ^ ".pass"),
+        Obs.Metrics.counter ("explore.oracle." ^ o.Oracle.name ^ ".fail") ))
+    oracles
+
+let judge ocs ~complete ex =
+  List.concat_map
+    (fun ((o : _ Oracle.t), cpass, cfail) ->
+      if complete || o.Oracle.on_truncated then begin
+        let errs = o.Oracle.check ex in
+        (match errs with
+        | [] -> Obs.Metrics.incr cpass
+        | _ :: _ -> Obs.Metrics.incr cfail);
+        List.map (fun e -> o.Oracle.name ^ ": " ^ e) errs
+      end
+      else [])
+    ocs
+
 let fault_to_string = function
   | Aug.Skip_yield_check -> "skip-yield-check"
   | Aug.Yield_on_higher -> "yield-on-higher"
@@ -60,9 +103,12 @@ let fault_of_string = function
 (* ---------------------------------------------------------------- *)
 
 let replay w ~max_steps ~script =
+  Obs.Metrics.incr m_execs;
   w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:true
 
-let failing w ~max_steps script = (replay w ~max_steps ~script).errors <> []
+let failing w ~max_steps script =
+  Obs.Metrics.incr m_shrink;
+  (replay w ~max_steps ~script).errors <> []
 
 (* Greedy step removal: delete any single step whose removal keeps the
    script failing, to fixpoint. *)
@@ -131,6 +177,7 @@ let record_violation w ~max_steps acc (out : outcome) =
   let shrunk = shrink w ~max_steps ~script:out.script in
   if List.exists (fun (v : violation) -> v.script = shrunk) acc then acc
   else begin
+    Obs.Metrics.incr m_viols;
     let errs = (replay w ~max_steps ~script:shrunk).errors in
     {
       script = shrunk;
@@ -159,6 +206,7 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
   let stop = ref false in
   let leaf ~cut script =
     if cut then incr truncated else incr complete;
+    Obs.Metrics.observe h_preempt (preemptions_of script);
     let out = replay w ~max_steps ~script in
     if out.errors <> [] then begin
       violations := record_violation w ~max_steps !violations out;
@@ -172,6 +220,7 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
   let rec go script nsteps preempts last =
     if not !stop then begin
       incr prefixes;
+      Obs.Metrics.incr m_execs;
       let out =
         w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:false
       in
@@ -283,7 +332,9 @@ let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
     let k = ref lo in
     while !k < hi && Atomic.get found < max_violations do
       let sched = gen_sched ~n_procs:w.n_procs ~max_steps ~seed:(seed + !k) in
+      Obs.Metrics.incr m_execs;
       let out = w.exec ~sched ~max_ops:max_steps ~check:true in
+      Obs.Metrics.observe h_preempt (preemptions_of out.script);
       incr count;
       if out.errors <> [] then begin
         Atomic.incr found;
@@ -552,6 +603,7 @@ module Aug_target = struct
 
   let workload ?(oracles = default_oracles) ?inject ?(faults = []) ~name ~f ~m
       ~bodies () =
+    let ocs = oracle_counters oracles in
     let exec ~sched ~max_ops ~check =
       let aug = Aug.create ?inject ~f ~m () in
       (* A plan is single-run (fire-once state), so compile it afresh for
@@ -559,21 +611,13 @@ module Aug_target = struct
       let plan = Faults.plan ~adapter:Aug.fault_adapter faults in
       let control = Faults.control plan in
       let result =
-        Aug.F.run ~max_ops ~control ~sched ~apply:(Aug.apply aug) (bodies aug)
+        Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ~sched
+          ~apply:(Aug.apply aug) (bodies aug)
       in
       let live = live_of result.Aug.F.statuses in
       let complete = live = [] in
       let errors =
-        if not check then []
-        else
-          List.concat_map
-            (fun (o : exec Oracle.t) ->
-              if complete || o.Oracle.on_truncated then
-                List.map
-                  (fun e -> o.Oracle.name ^ ": " ^ e)
-                  (o.Oracle.check { aug; result; complete })
-              else [])
-            oracles
+        if not check then [] else judge ocs ~complete { aug; result; complete }
       in
       {
         script =
@@ -768,6 +812,7 @@ module Harness_target = struct
       | Some os -> os
       | None -> if faults = [] then default_oracles else fault_oracles
     in
+    let ocs = oracle_counters oracles in
     let exec ~sched ~max_ops ~check =
       let hspec =
         {
@@ -792,15 +837,7 @@ module Harness_target = struct
       let complete = live = [] in
       let errors =
         if not check then []
-        else
-          List.concat_map
-            (fun (o : exec Oracle.t) ->
-              if complete || o.Oracle.on_truncated then
-                List.map
-                  (fun e -> o.Oracle.name ^ ": " ^ e)
-                  (o.Oracle.check { hspec; result; complete })
-              else [])
-            oracles
+        else judge ocs ~complete { hspec; result; complete }
       in
       {
         script =

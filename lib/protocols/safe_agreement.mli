@@ -46,6 +46,7 @@ module F : sig
     ?max_ops:int ->
     ?control:(pid:int -> nth:int -> Ops.op -> Ops.op Rsim_runtime.Fiber.directive) ->
     ?max_restarts:int ->
+    ?obs_label:(Ops.op -> string) ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> Ops.op -> Ops.res) ->
     (int -> unit) list ->

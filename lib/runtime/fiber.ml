@@ -20,6 +20,17 @@ type event =
   | Ev_replace of { pid : int; at : int }
   | Ev_raise of { pid : int; at : int }
 
+module Obs = Rsim_obs.Obs
+
+(* Always-on fault-plane and throughput counters: one atomic increment
+   each, no allocation (the observability plane's "off" cost). *)
+let m_ops = Obs.Metrics.counter "fiber.ops"
+let m_crashes = Obs.Metrics.counter "fiber.faults.crash"
+let m_restarts = Obs.Metrics.counter "fiber.faults.restart"
+let m_stalls = Obs.Metrics.counter "fiber.faults.stall"
+let m_replaces = Obs.Metrics.counter "fiber.faults.replace"
+let m_raises = Obs.Metrics.counter "fiber.faults.raise"
+
 let pp_event fmt = function
   | Ev_crash { pid; at; restarting } ->
     Format.fprintf fmt "crash(pid=%d, at=%d%s)" pid at
@@ -74,8 +85,10 @@ module Make (M : OPS) = struct
             | _ -> None);
       }
 
-  let run ?(max_ops = 1_000_000) ?control ?(max_restarts = 4) ~sched ~apply
-      bodies =
+  let default_obs_label (_ : M.op) = "op"
+
+  let run ?(max_ops = 1_000_000) ?control ?(max_restarts = 4)
+      ?(obs_label = default_obs_label) ~sched ~apply bodies =
     let n = List.length bodies in
     let bodies_arr = Array.of_list bodies in
     let slots = Array.make n Fresh in
@@ -92,7 +105,33 @@ module Make (M : OPS) = struct
     let stalled_until = Array.make n 0 in
     let restart_due = Array.make n (-1) in
     let incarnations = Array.make n 0 in
-    let event e = rev_events := e :: !rev_events in
+    let event e =
+      rev_events := e :: !rev_events;
+      (match e with
+      | Ev_crash _ -> Obs.Metrics.incr m_crashes
+      | Ev_restart _ -> Obs.Metrics.incr m_restarts
+      | Ev_stall _ -> Obs.Metrics.incr m_stalls
+      | Ev_replace _ -> Obs.Metrics.incr m_replaces
+      | Ev_raise _ -> Obs.Metrics.incr m_raises);
+      if Obs.Trace.enabled () then
+        match e with
+        | Ev_crash { pid; at; restarting } ->
+          Obs.Trace.instant ~name:"fault.crash" ~pid ~ts:at
+            ~args:[ ("restarting", Obs.Json.Bool restarting) ]
+            ()
+        | Ev_restart { pid; at; incarnation } ->
+          Obs.Trace.instant ~name:"fault.restart" ~pid ~ts:at
+            ~args:[ ("incarnation", Obs.Json.Int incarnation) ]
+            ()
+        | Ev_stall { pid; at; steps } ->
+          Obs.Trace.instant ~name:"fault.stall" ~pid ~ts:at
+            ~args:[ ("steps", Obs.Json.Int steps) ]
+            ()
+        | Ev_replace { pid; at } ->
+          Obs.Trace.instant ~name:"fault.replace" ~pid ~ts:at ()
+        | Ev_raise { pid; at } ->
+          Obs.Trace.instant ~name:"fault.raise" ~pid ~ts:at ()
+    in
     let do_restarts () =
       for pid = 0 to n - 1 do
         if restart_due.(pid) >= 0 && !clock >= restart_due.(pid) then begin
@@ -155,9 +194,14 @@ module Make (M : OPS) = struct
             | Suspended { pending_op; resume } -> (
               let exec op =
                 let res = apply ~pid op in
-                rev_trace := { idx = !total; pid; op; res } :: !rev_trace;
-                total := !total + 1;
+                let idx = !total in
+                rev_trace := { idx; pid; op; res } :: !rev_trace;
+                total := idx + 1;
                 ops_per_fiber.(pid) <- ops_per_fiber.(pid) + 1;
+                Obs.Metrics.incr m_ops;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.sampled_complete ~name:(obs_label op) ~pid ~ts:idx
+                    ~dur:1 ();
                 (* Resuming overwrites the slot with the fiber's next
                    state (Suspended on its next op, or Finished). *)
                 continue resume res

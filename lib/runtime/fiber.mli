@@ -22,7 +22,14 @@
     a window of scheduling decisions, or unwind it with an injected
     exception. {!Rsim_faults.Faults} compiles declarative fault specs
     into such a hook; the harness's watchdog supervision uses the same
-    mechanism. *)
+    mechanism.
+
+    {b Observability.} Every applied operation bumps the always-on
+    [fiber.ops] counter and, when {!Rsim_obs.Obs.Trace} is collecting,
+    emits a one-tick span named by [obs_label] at logical time = the
+    operation's trace index; fault-plane events bump [fiber.faults.*]
+    counters and emit instant trace events. With tracing off the
+    per-operation cost is one atomic increment and one atomic load. *)
 
 module type OPS = sig
   type op
@@ -99,11 +106,16 @@ module Make (M : OPS) : sig
       4) times, with the same body it was started with.
 
       Stops when no fiber is pending or due to wake, the schedule is
-      exhausted, or [max_ops] operations have executed. *)
+      exhausted, or [max_ops] operations have executed.
+
+      [obs_label] names each operation in the emitted trace (default
+      ["op"]); pass e.g. {!Rsim_augmented.Aug.op_name} for readable
+      per-operation lanes in [chrome://tracing]. *)
   val run :
     ?max_ops:int ->
     ?control:(pid:int -> nth:int -> M.op -> M.op directive) ->
     ?max_restarts:int ->
+    ?obs_label:(M.op -> string) ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> M.op -> M.res) ->
     (int -> unit) list ->

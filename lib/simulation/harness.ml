@@ -2,9 +2,17 @@ open Rsim_value
 open Rsim_shmem
 open Rsim_augmented
 
-let src = Logs.Src.create "rsim.harness" ~doc:"Revisionist simulation harness"
+module Obs = Rsim_obs.Obs
+module Log = Obs.Log
 
-module Log = (val Logs.src_log src : Logs.LOG)
+(* Run-level telemetry: how hard each simulation worked, and how close
+   the supervision watchdog came to firing (its budget is calibrated
+   against Lemma 31's step bound — see {!default_watchdog}). *)
+let m_runs = Obs.Metrics.counter "harness.runs"
+let m_quarantines = Obs.Metrics.counter "harness.quarantines"
+let h_revisions = Obs.Metrics.histogram "harness.sim.revisions"
+let h_sim_ops = Obs.Metrics.histogram "harness.sim.hops"
+let g_watchdog_margin = Obs.Metrics.gauge "harness.watchdog.margin"
 
 type spec = {
   protocol : int -> Value.t -> Proc.t;
@@ -117,6 +125,10 @@ let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ?(faults = [])
     | Rsim_runtime.Fiber.Proceed when nth >= watchdog_budget ->
       Log.debug (fun k ->
           k "watchdog: quarantining simulator %d after %d H-operations" pid nth);
+      Obs.Metrics.incr m_quarantines;
+      Obs.Trace.instant ~name:"watchdog.quarantine" ~pid ~ts:(Aug.clock aug)
+        ~args:[ ("budget", Obs.Json.Int watchdog_budget) ]
+        ();
       quarantined :=
         {
           sim = pid;
@@ -129,12 +141,31 @@ let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ?(faults = [])
       Rsim_runtime.Fiber.Crash
     | directive -> directive
   in
-  let fr = Aug.F.run ~max_ops ~control ~sched ~apply:(Aug.apply aug) bodies in
+  let fr =
+    Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ~sched
+      ~apply:(Aug.apply aug) bodies
+  in
   Log.debug (fun k ->
       k "simulation finished: %d H-operations, all_done=%b" fr.Aug.F.total_ops
         (Array.for_all
            (function Rsim_runtime.Fiber.Done -> true | _ -> false)
            fr.Aug.F.statuses));
+  Obs.Metrics.incr m_runs;
+  let revisions_of j =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Journal.Jrevise _ -> acc + 1
+        | Journal.Jscan _ | Journal.Jbu _ | Journal.Jfinal _
+        | Journal.Jdecided _ -> acc)
+      0 (Journal.events j)
+  in
+  Array.iter (fun j -> Obs.Metrics.observe h_revisions (revisions_of j)) journals;
+  Array.iter (fun n -> Obs.Metrics.observe h_sim_ops n) fr.Aug.F.ops_per_fiber;
+  (* Headroom between the busiest simulator and the watchdog's
+     Lemma-31-calibrated budget: how far this run was from quarantine. *)
+  let busiest = Array.fold_left max 0 fr.Aug.F.ops_per_fiber in
+  Obs.Metrics.set g_watchdog_margin (watchdog_budget - busiest);
   let output_of i =
     match (covering.(i), direct.(i)) with
     | Some c, _ -> Covering_sim.output c

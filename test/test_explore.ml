@@ -436,6 +436,36 @@ let test_artifact_unsupported_version () =
     Alcotest.(check bool) "error names the unsupported version" true
       (contains ~sub:"unsupported artifact version" e)
 
+let test_artifact_load_unreadable () =
+  (* Unreadable paths must come back as [Error] (the CLI's exit 2), not
+     as a raised exception: a directory... *)
+  let dir = Filename.temp_file "rsim_artifact" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> Sys.rmdir dir)
+    (fun () ->
+      match Artifact.load ~path:dir with
+      | Ok _ -> Alcotest.fail "loading a directory should fail"
+      | Error e ->
+        Alcotest.(check bool) "error names the directory" true
+          (contains ~sub:"is a directory" e));
+  (* ... a missing file ... *)
+  (match Artifact.load ~path:(Filename.concat dir "gone.json") with
+  | Ok _ -> Alcotest.fail "loading a missing file should fail"
+  | Error _ -> ());
+  (* ... and malformed JSON. *)
+  let bad = Filename.temp_file "rsim_artifact" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "{ not json";
+      close_out oc;
+      match Artifact.load ~path:bad with
+      | Ok _ -> Alcotest.fail "malformed JSON should fail"
+      | Error _ -> ())
+
 (* ---- linearizable oracle over full explorations ---- *)
 
 let test_linearizable_oracle_exhaustive () =
@@ -506,6 +536,8 @@ let () =
         [
           Alcotest.test_case "v1 artifact still loads" `Quick
             test_artifact_v1_backward_compat;
+          Alcotest.test_case "unreadable paths are Error, not raise" `Quick
+            test_artifact_load_unreadable;
           Alcotest.test_case "newer version refused" `Quick
             test_artifact_unsupported_version;
         ] );
