@@ -240,6 +240,108 @@ let explore_throughput () =
         (Unix.gettimeofday () -. t0))
     [ 1; 2; 4 ]
 
+(* -------- explorer snapshot: BENCH_explore.json -------- *)
+
+(* Measure the parallel prefix-sharing engine against the pre-PR
+   sequential DFS (kept as [Explore.exhaustive_naive]) on the standard
+   f=2 m=2 conflicting Block-Update workload, plus how exhaustive
+   throughput scales with domains on a fixed tree (pruning off so every
+   domain count does identical work). Written to BENCH_explore.json so
+   CI can track the engine's speedup and scaling across commits. *)
+let explore_snapshot () =
+  let w = explore_workload () in
+  let max_steps = 12 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* warm up the allocator / code paths before timing *)
+  ignore (Explore.exhaustive ~max_steps:8 w);
+  let naive, dt_naive =
+    time (fun () -> Explore.exhaustive_naive ~max_steps w)
+  in
+  let engine, dt_engine = time (fun () -> Explore.exhaustive ~max_steps w) in
+  let speedup = if dt_engine > 0. then dt_naive /. dt_engine else nan in
+  let rate n dt = if dt > 0. then float_of_int n /. dt else nan in
+  let scale_steps = 14 in
+  let scaling =
+    List.map
+      (fun domains ->
+        let rep, dt =
+          time (fun () ->
+              Explore.exhaustive ~max_steps:scale_steps ~domains ~dedup:false
+                ~independence:false w)
+        in
+        (domains, rep.Explore.executions, dt, rate rep.Explore.executions dt))
+      [ 1; 2; 4 ]
+  in
+  let rate_at d =
+    match List.find_opt (fun (d', _, _, _) -> d' = d) scaling with
+    | Some (_, _, _, r) -> r
+    | None -> nan
+  in
+  let scaling_1_to_4 =
+    if rate_at 1 > 0. then rate_at 4 /. rate_at 1 else nan
+  in
+  let side name (rep : Explore.exhaustive_report) dt =
+    ( name,
+      Obs.Json.Obj
+        [
+          ("wall_s", Obs.Json.Float dt);
+          ("executions", Obs.Json.Int rep.Explore.executions);
+          ("prefixes", Obs.Json.Int rep.Explore.prefixes);
+          ("complete", Obs.Json.Int rep.Explore.complete);
+          ("truncated", Obs.Json.Int rep.Explore.truncated);
+          ("dedup_hits", Obs.Json.Int rep.Explore.dedup_hits);
+          ("pruned", Obs.Json.Int rep.Explore.pruned);
+          ("domains", Obs.Json.Int rep.Explore.domains);
+          ("violations", Obs.Json.Int (List.length rep.Explore.violations));
+        ] )
+  in
+  let j =
+    Obs.Json.Obj
+      [
+        ("workload", Obs.Json.Str "bu-conflict f=2 m=2");
+        ("max_steps", Obs.Json.Int max_steps);
+        side "naive" naive dt_naive;
+        side "engine" engine dt_engine;
+        ("speedup_vs_naive", Obs.Json.Float speedup);
+        ("scaling_max_steps", Obs.Json.Int scale_steps);
+        ( "scaling",
+          Obs.Json.Arr
+            (List.map
+               (fun (domains, executions, dt, r) ->
+                 Obs.Json.Obj
+                   [
+                     ("domains", Obs.Json.Int domains);
+                     ("executions", Obs.Json.Int executions);
+                     ("wall_s", Obs.Json.Float dt);
+                     ("scheds_per_sec", Obs.Json.Float r);
+                   ])
+               scaling) );
+        ("scaling_1_to_4", Obs.Json.Float scaling_1_to_4);
+      ]
+  in
+  let oc = open_out "BENCH_explore.json" in
+  output_string oc (Obs.Json.to_string_pretty j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "%-36s %8.3f s  %6d executions\n" "naive DFS (pre-PR engine)"
+    dt_naive naive.Explore.executions;
+  Printf.printf "%-36s %8.3f s  %6d executions  (%.1fx)\n"
+    "parallel prefix-sharing engine" dt_engine engine.Explore.executions
+    speedup;
+  List.iter
+    (fun (domains, executions, dt, r) ->
+      Printf.printf "%-36s %8.3f s  %6d executions  %10.0f scheds/s\n"
+        (Printf.sprintf "exhaustive (pruning off) %d domain%s" domains
+           (if domains = 1 then "" else "s"))
+        dt executions r)
+    scaling;
+  Printf.printf "%-36s %10.2fx\n" "scaling 1 -> 4 domains" scaling_1_to_4;
+  print_endline "wrote BENCH_explore.json"
+
 (* -------- observability snapshot: BENCH_obs.json -------- *)
 
 let time f =
@@ -304,6 +406,13 @@ let obs_snapshot () =
   print_endline "wrote BENCH_obs.json"
 
 let () =
+  if Array.exists (( = ) "--explore-only") Sys.argv then begin
+    print_endline "======================================================";
+    print_endline " Explorer snapshot (BENCH_explore.json)";
+    print_endline "======================================================";
+    explore_snapshot ();
+    exit 0
+  end;
   if Array.exists (( = ) "--obs-only") Sys.argv then begin
     print_endline "======================================================";
     print_endline " Observability snapshot (BENCH_obs.json)";
@@ -326,6 +435,11 @@ let () =
   print_endline " Explorer throughput (schedules per second)";
   print_endline "======================================================";
   explore_throughput ();
+  print_newline ();
+  print_endline "======================================================";
+  print_endline " Explorer snapshot (BENCH_explore.json)";
+  print_endline "======================================================";
+  explore_snapshot ();
   print_newline ();
   print_endline "======================================================";
   print_endline " Observability snapshot (BENCH_obs.json)";

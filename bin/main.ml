@@ -361,7 +361,24 @@ let explore_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "domains" ] ~doc:"Sweep: parallel domains (default: auto).")
+      & info [ "domains" ]
+          ~doc:"Parallel domains for both modes (default: auto).")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Exhaustive: disable state-fingerprint deduplication and explore \
+             the literal schedule tree.")
+  in
+  let no_independence =
+    Arg.(
+      value & flag
+      & info [ "no-independence" ]
+          ~doc:
+            "Exhaustive: disable sleep-set pruning of independent \
+             (component-disjoint) Block-Update interleavings.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sweep: base seed.") in
   let inject =
@@ -394,8 +411,9 @@ let explore_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"PATH" ~doc:"Save counterexample artifacts here.")
   in
-  let run workload f m n d mode max_steps preemption_bound budget domains seed
-      inject faults max_violations out metrics trace_out =
+  let run workload f m n d mode max_steps preemption_bound budget domains
+      no_dedup no_independence seed inject faults max_violations out metrics
+      trace_out =
     match build_workload ~workload ~f ~m ~n ~d ~inject ~faults ~seed with
     | Error e ->
       Log.err (fun k -> k "explore: %s" e);
@@ -410,16 +428,19 @@ let explore_cmd =
         | `Exhaustive ->
           let max_steps = if max_steps = 0 then 12 else max_steps in
           let rep =
-            Explore.exhaustive ~max_steps ?preemption_bound ~max_violations w
+            Explore.exhaustive ~max_steps ?preemption_bound ~max_violations
+              ?domains ~dedup:(not no_dedup)
+              ~independence:(not no_independence) w
           in
           Printf.printf
             "exhaustive %s: %d prefixes, %d complete + %d truncated executions \
-             (max %d steps%s)\n"
+             (max %d steps%s) on %d domains; %d dedup cuts, %d sleep prunes\n"
             w.Explore.name rep.Explore.prefixes rep.Explore.complete
             rep.Explore.truncated max_steps
             (match preemption_bound with
             | None -> ""
-            | Some b -> Printf.sprintf ", <= %d preemptions" b);
+            | Some b -> Printf.sprintf ", <= %d preemptions" b)
+            rep.Explore.domains rep.Explore.dedup_hits rep.Explore.pruned;
           List.iteri print_violation rep.Explore.violations;
           save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
           if rep.Explore.violations = [] then
@@ -458,8 +479,8 @@ let explore_cmd =
          ])
     Term.(
       const run $ workload $ f $ m $ n $ d $ mode $ max_steps $ preemption_bound
-      $ budget $ domains $ seed $ inject $ faults $ max_violations $ out
-      $ metrics_arg $ trace_out_arg)
+      $ budget $ domains $ no_dedup $ no_independence $ seed $ inject $ faults
+      $ max_violations $ out $ metrics_arg $ trace_out_arg)
 
 (* ---------------- replay ---------------- *)
 

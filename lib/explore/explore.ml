@@ -11,13 +11,22 @@ module Task = Rsim_tasks.Task
 module Racing = Rsim_protocols.Racing
 module Obs = Rsim_obs.Obs
 
-(* Engine telemetry, shared by both engines and safe under the sweep's
-   parallel domains (atomic counters). Schedules/sec is the caller's
-   division of [explore.executions] by wall time. *)
+(* Engine telemetry, shared by all engines and safe under parallel
+   domains (atomic counters). Schedules/sec is the caller's division of
+   [explore.executions] by wall time. *)
 let m_execs = Obs.Metrics.counter "explore.executions"
 let m_viols = Obs.Metrics.counter "explore.violations"
 let m_shrink = Obs.Metrics.counter "explore.shrink.attempts"
 let h_preempt = Obs.Metrics.histogram "explore.preemptions"
+
+(* Parallel-frontier telemetry: tasks processed, tasks popped by a
+   domain other than the one that pushed them, state-fingerprint dedup
+   hits, sleep-set prunes, and the live frontier size. *)
+let m_tasks = Obs.Metrics.counter "explore.tasks"
+let m_steals = Obs.Metrics.counter "explore.steals"
+let m_dedup = Obs.Metrics.counter "explore.dedup.hits"
+let m_sleep = Obs.Metrics.counter "explore.sleep.prunes"
+let g_frontier = Obs.Metrics.gauge "explore.frontier.depth"
 
 (* Context switches away from a pid that appears again later — the
    preemption depth of an executed schedule. *)
@@ -34,11 +43,23 @@ let preemptions_of script =
 (* Workloads                                                         *)
 (* ---------------------------------------------------------------- *)
 
+(* What the exploration engine sees at every scheduling decision of a
+   probed execution (see {!Rsim_runtime.Fiber.run}'s [probe]). *)
+type probe_view = {
+  step : int;
+  live : int list;
+  fingerprint : (int * int) option;
+  indep : int -> int -> bool;
+}
+
+type probe = probe_view -> [ `Continue | `Stop ]
+
 type outcome = {
   script : int list;
   live : int list;
   steps : int;
   errors : string list;
+  judge : unit -> string list;
 }
 
 type workload = {
@@ -47,7 +68,12 @@ type workload = {
   params : (string * int) list;
   inject : string option;
   faults : string option;
-  exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
+  exec :
+    probe:probe option ->
+    sched:Schedule.t ->
+    max_ops:int ->
+    check:bool ->
+    outcome;
 }
 
 type violation = {
@@ -104,7 +130,8 @@ let fault_of_string = function
 
 let replay w ~max_steps ~script =
   Obs.Metrics.incr m_execs;
-  w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:true
+  w.exec ~probe:None ~sched:(Schedule.script script) ~max_ops:max_steps
+    ~check:true
 
 let failing w ~max_steps script =
   Obs.Metrics.incr m_shrink;
@@ -173,16 +200,16 @@ let shrink w ~max_steps ~script =
     fix script
   end
 
-let record_violation w ~max_steps acc (out : outcome) =
-  let shrunk = shrink w ~max_steps ~script:out.script in
+let record_violation w ~max_steps acc ~script ~errors =
+  let shrunk = shrink w ~max_steps ~script in
   if List.exists (fun (v : violation) -> v.script = shrunk) acc then acc
   else begin
     Obs.Metrics.incr m_viols;
     let errs = (replay w ~max_steps ~script:shrunk).errors in
     {
       script = shrunk;
-      original = out.script;
-      errors = (if errs = [] then out.errors else errs);
+      original = script;
+      errors = (if errs = [] then errors else errs);
     }
     :: acc
   end
@@ -195,34 +222,51 @@ type exhaustive_report = {
   complete : int;
   truncated : int;
   prefixes : int;
+  executions : int;
+  dedup_hits : int;
+  pruned : int;
+  domains : int;
   violations : violation list;
 }
 
-let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
+(* The pre-parallel engine, kept verbatim as the measurement baseline
+   for [bench --explore-only]: a single-domain DFS that re-executes
+   every schedule prefix from scratch (effect continuations are
+   one-shot) — O(L²) executions per leaf — and re-executes each leaf a
+   second time to judge it. Prefix accumulation is reverse-consed (one
+   [List.rev] per execution) instead of the former O(n) [@ [pid]]. *)
+let exhaustive_naive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
+    w =
   let complete = ref 0 in
   let truncated = ref 0 in
   let prefixes = ref 0 in
+  let executions = ref 0 in
   let violations = ref [] in
   let stop = ref false in
   let leaf ~cut script =
     if cut then incr truncated else incr complete;
     Obs.Metrics.observe h_preempt (preemptions_of script);
+    incr executions;
     let out = replay w ~max_steps ~script in
     if out.errors <> [] then begin
-      violations := record_violation w ~max_steps !violations out;
+      violations :=
+        record_violation w ~max_steps !violations ~script:out.script
+          ~errors:out.errors;
       if List.length !violations >= max_violations then stop := true
     end
   in
-  (* DFS over schedule prefixes. The fiber continuations are one-shot, so
-     each prefix is replayed from scratch; workloads are small by
-     construction. [last] is the pid of the previous step, [preempts] the
-     context switches away from a still-live fiber so far. *)
-  let rec go script nsteps preempts last =
+  (* DFS over schedule prefixes. [last] is the pid of the previous step,
+     [preempts] the context switches away from a still-live fiber so
+     far. *)
+  let rec go rev_script nsteps preempts last =
     if not !stop then begin
       incr prefixes;
+      incr executions;
       Obs.Metrics.incr m_execs;
+      let script = List.rev rev_script in
       let out =
-        w.exec ~sched:(Schedule.script script) ~max_ops:max_steps ~check:false
+        w.exec ~probe:None ~sched:(Schedule.script script) ~max_ops:max_steps
+          ~check:false
       in
       if out.live = [] then leaf ~cut:false script
       else if nsteps >= max_steps then leaf ~cut:true script
@@ -240,7 +284,7 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
                 preempts + 1
               else preempts
             in
-            go (script @ [ pid ]) (nsteps + 1) preempts' pid)
+            go (pid :: rev_script) (nsteps + 1) preempts' pid)
           choices
       end
     end
@@ -250,7 +294,347 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1) w =
     complete = !complete;
     truncated = !truncated;
     prefixes = !prefixes;
+    executions = !executions;
+    dedup_hits = 0;
+    pruned = 0;
+    domains = 1;
     violations = List.rev !violations;
+  }
+
+(* A frontier entry: a schedule prefix (reverse-consed decisions) to
+   re-execute and expand. [sleep] are the pids this branch must not
+   schedule at its first fresh decision (Godefroid sleep sets); [origin]
+   is the pushing domain, for steal accounting. *)
+type frontier_task = {
+  rev_prefix : int list;
+  depth : int;
+  preempts : int;
+  last : int;
+  sleep : int list;
+  origin : int;
+}
+
+let sleep_mask = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0
+
+(* The parallel prefix-sharing engine. Each frontier task executes its
+   prefix exactly once; from the prefix's end onward the execution
+   continues greedily down the lowest-pid branch while the probe emits
+   one frontier task per sibling branch — so every tree edge is executed
+   exactly once (the old engine re-executed the whole prefix for every
+   node below it) and the leaf is judged in the same execution via the
+   outcome's lazy [judge] (the old engine re-executed every leaf to
+   judge it).
+
+   Determinism: state claims are atomic, and equal (fingerprint, depth,
+   sleep, bound-state) keys have equal futures, so all counts — and,
+   when no early stop cuts the run short, the violation set after the
+   sorted merge — are reproducible regardless of the number of domains
+   or of which racing task wins a claim. *)
+let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
+    ?domains ?(dedup = true) ?(independence = true) w =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
+  in
+  (* Injected faults give reached states clock-dependent components
+     (stall windows, restart delays) the fingerprint cannot see, so
+     pruning is unsound there and switches itself off. Independence is
+     additionally disabled under a preemption bound: sleeping a branch
+     changes which schedules spend the budget. *)
+  let dedup = dedup && w.faults = None in
+  let independence = independence && w.faults = None && preemption_bound = None in
+  (* Sharded claim table: a state key is claimed by exactly one task;
+     everyone else is pruned. *)
+  let shards = Array.init 64 (fun _ -> (Mutex.create (), Hashtbl.create 251)) in
+  let claim key =
+    let mu, tbl = shards.(Hashtbl.hash key land 63) in
+    Mutex.lock mu;
+    let fresh = not (Hashtbl.mem tbl key) in
+    if fresh then Hashtbl.add tbl key ();
+    Mutex.unlock mu;
+    fresh
+  in
+  (* Shared LIFO frontier: a mutex-and-condition chunked queue. [pop]
+     blocks while tasks are in flight (they may push children); the last
+     domain to drain it broadcasts termination. *)
+  let fmu = Mutex.create () in
+  let fcv = Condition.create () in
+  let stack = ref [] in
+  let fsize = ref 0 in
+  let in_flight = ref 0 in
+  let finished = ref false in
+  let stop = Atomic.make false in
+  let push ts =
+    if ts <> [] then begin
+      Mutex.lock fmu;
+      stack := List.rev_append ts !stack;
+      fsize := !fsize + List.length ts;
+      Obs.Metrics.set g_frontier !fsize;
+      Condition.broadcast fcv;
+      Mutex.unlock fmu
+    end
+  in
+  let pop d =
+    Mutex.lock fmu;
+    let rec wait () =
+      if !finished then begin
+        Mutex.unlock fmu;
+        None
+      end
+      else
+        match !stack with
+        | t :: rest ->
+          stack := rest;
+          decr fsize;
+          incr in_flight;
+          Obs.Metrics.set g_frontier !fsize;
+          Mutex.unlock fmu;
+          if t.origin <> d then Obs.Metrics.incr m_steals;
+          Some t
+        | [] ->
+          if !in_flight = 0 then begin
+            finished := true;
+            Condition.broadcast fcv;
+            Mutex.unlock fmu;
+            None
+          end
+          else begin
+            Condition.wait fcv fmu;
+            wait ()
+          end
+    in
+    wait ()
+  in
+  let task_done () =
+    Mutex.lock fmu;
+    decr in_flight;
+    if !in_flight = 0 && !stack = [] then begin
+      finished := true;
+      Condition.broadcast fcv
+    end;
+    Mutex.unlock fmu
+  in
+  let halt () =
+    Atomic.set stop true;
+    Mutex.lock fmu;
+    finished := true;
+    Condition.broadcast fcv;
+    Mutex.unlock fmu
+  in
+  let n_complete = Atomic.make 0 in
+  let n_trunc = Atomic.make 0 in
+  let n_nodes = Atomic.make 0 in
+  let n_exec = Atomic.make 0 in
+  let n_dedup = Atomic.make 0 in
+  let n_pruned = Atomic.make 0 in
+  (* Raw (unshrunk) violations; merged deterministically after the
+     join. The early stop is atomic but advisory — in-flight tasks may
+     report a few extra raw violations, which the sorted merge then
+     truncates identically on every run that was not stopped early. *)
+  let vmu = Mutex.create () in
+  let raw = ref [] in
+  let nraw = ref 0 in
+  let report_raw script errors =
+    Mutex.lock vmu;
+    raw := (script, errors) :: !raw;
+    incr nraw;
+    let enough = !nraw >= max_violations in
+    Mutex.unlock vmu;
+    if enough then halt ()
+  in
+  let process d (t : frontier_task) =
+    Atomic.incr n_exec;
+    Obs.Metrics.incr m_execs;
+    Obs.Metrics.incr m_tasks;
+    let prefix = Array.of_list (List.rev t.rev_prefix) in
+    let plen = Array.length prefix in
+    let rev_path = ref t.rev_prefix in
+    let preempts = ref t.preempts in
+    let last = ref t.last in
+    let sleep = ref t.sleep in
+    let next_pick = ref (-1) in
+    let children = ref [] in
+    let aborted = ref false in
+    let cut_off = ref false in
+    let probe (pv : probe_view) =
+      if Atomic.get stop then begin
+        aborted := true;
+        `Stop
+      end
+      else if pv.step < plen then begin
+        (* Replaying the task's own prefix: the states along it were
+           claimed when their siblings were emitted, so just dictate the
+           recorded decision. *)
+        next_pick := prefix.(pv.step);
+        `Continue
+      end
+      else begin
+        let fresh =
+          (not dedup)
+          ||
+          match pv.fingerprint with
+          | None -> true
+          | Some (f1, f2) ->
+            let benc =
+              match preemption_bound with
+              | None -> -1
+              | Some _ -> (!preempts * 64) + !last + 1
+            in
+            if claim (f1, f2, pv.step, sleep_mask !sleep, benc) then true
+            else begin
+              Atomic.incr n_dedup;
+              Obs.Metrics.incr m_dedup;
+              false
+            end
+        in
+        if not fresh then begin
+          cut_off := true;
+          `Stop
+        end
+        else if pv.step >= max_steps then
+          (* Truncated leaf: counted post-run, like the complete case —
+             normally the fiber op cap ends the run before the probe
+             even fires here. *)
+          `Stop
+        else begin
+          Atomic.incr n_nodes;
+          begin
+            let choices =
+              match preemption_bound with
+              | Some b
+                when !preempts >= b && !last >= 0 && List.mem !last pv.live ->
+                [ !last ]
+              | _ -> pv.live
+            in
+            let explorable =
+              if not independence then choices
+              else List.filter (fun p -> not (List.mem p !sleep)) choices
+            in
+            match explorable with
+            | [] ->
+              (* Every enabled branch is asleep: some commuted ordering
+                 of these steps is explored elsewhere. *)
+              Atomic.incr n_pruned;
+              Obs.Metrics.incr m_sleep;
+              cut_off := true;
+              `Stop
+            | chosen :: rest ->
+              let preempts_of_child pid =
+                if !last >= 0 && pid <> !last && List.mem !last pv.live then
+                  !preempts + 1
+                else !preempts
+              in
+              (* Godefroid sleep sets: sibling c_i sleeps on every
+                 member of Z ∪ {c_1..c_{i-1}} independent of c_i. *)
+              if rest <> [] then begin
+                let earlier = ref [ chosen ] in
+                List.iter
+                  (fun c ->
+                    let zsleep =
+                      if not independence then []
+                      else
+                        List.filter
+                          (fun z -> pv.indep z c)
+                          (List.sort_uniq compare (!sleep @ !earlier))
+                    in
+                    children :=
+                      {
+                        rev_prefix = c :: !rev_path;
+                        depth = pv.step + 1;
+                        preempts = preempts_of_child c;
+                        last = c;
+                        sleep = zsleep;
+                        origin = d;
+                      }
+                      :: !children;
+                    earlier := c :: !earlier)
+                  rest
+              end;
+              sleep :=
+                (if independence then
+                   List.filter (fun z -> pv.indep z chosen) !sleep
+                 else []);
+              preempts := preempts_of_child chosen;
+              last := chosen;
+              rev_path := chosen :: !rev_path;
+              next_pick := chosen;
+              `Continue
+          end
+        end
+      end
+    in
+    let out =
+      w.exec ~probe:(Some probe)
+        ~sched:(Schedule.fn (fun ~step:_ ~live:_ -> Some !next_pick))
+        ~max_ops:max_steps ~check:false
+    in
+    if not (!aborted || !cut_off) then begin
+      let script = List.rev !rev_path in
+      Obs.Metrics.observe h_preempt (preemptions_of script);
+      (* Leaf states are counted here, not in the probe: the probe only
+         fires while some fiber is live, and a truncated run is ended by
+         the fiber op cap before the probe reaches the depth cut. *)
+      Atomic.incr n_nodes;
+      if out.live = [] then Atomic.incr n_complete else Atomic.incr n_trunc;
+      let errors = out.judge () in
+      if errors <> [] then report_raw script errors
+    end;
+    push !children;
+    task_done ()
+  in
+  let worker d =
+    let rec go () =
+      match pop d with
+      | None -> ()
+      | Some t ->
+        process d t;
+        go ()
+    in
+    go ()
+  in
+  push
+    [
+      {
+        rev_prefix = [];
+        depth = 0;
+        preempts = 0;
+        last = -1;
+        sleep = [];
+        origin = 0;
+      };
+    ];
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  List.iter Domain.join spawned;
+  (* Deterministic merge: shortest raw script first, ties broken
+     lexicographically, then shrink-and-dedup up to [max_violations]. *)
+  let ordered =
+    List.sort_uniq
+      (fun (s1, _) (s2, _) ->
+        match compare (List.length s1) (List.length s2) with
+        | 0 -> compare s1 s2
+        | c -> c)
+      !raw
+  in
+  let violations =
+    List.fold_left
+      (fun acc (script, errors) ->
+        if List.length acc >= max_violations then acc
+        else record_violation w ~max_steps acc ~script ~errors)
+      [] ordered
+  in
+  {
+    complete = Atomic.get n_complete;
+    truncated = Atomic.get n_trunc;
+    prefixes = Atomic.get n_nodes;
+    executions = Atomic.get n_exec;
+    dedup_hits = Atomic.get n_dedup;
+    pruned = Atomic.get n_pruned;
+    domains;
+    violations = List.rev violations;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -325,6 +709,8 @@ let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
     | Some d -> max 1 d
     | None -> max 1 (min 4 (Domain.recommended_domain_count () - 1))
   in
+  (* No point spawning domains that would get an empty seed range. *)
+  let domains = min domains (max 1 budget) in
   let found = Atomic.make 0 in
   let worker lo hi =
     let count = ref 0 in
@@ -333,7 +719,7 @@ let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
     while !k < hi && Atomic.get found < max_violations do
       let sched = gen_sched ~n_procs:w.n_procs ~max_steps ~seed:(seed + !k) in
       Obs.Metrics.incr m_execs;
-      let out = w.exec ~sched ~max_ops:max_steps ~check:true in
+      let out = w.exec ~probe:None ~sched ~max_ops:max_steps ~check:true in
       Obs.Metrics.observe h_preempt (preemptions_of out.script);
       incr count;
       if out.errors <> [] then begin
@@ -365,9 +751,10 @@ let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
   let raw = List.concat_map snd all in
   let violations =
     List.fold_left
-      (fun acc out ->
+      (fun acc (out : outcome) ->
         if List.length acc >= max_violations then acc
-        else record_violation w ~max_steps acc out)
+        else record_violation w ~max_steps acc ~script:out.script
+               ~errors:out.errors)
       [] raw
   in
   { executions; domains; violations = List.rev violations }
@@ -455,6 +842,11 @@ let mop_history aug (trace : Aug.F.trace_entry list) =
 (* ---------------------------------------------------------------- *)
 (* Augmented-snapshot workloads                                      *)
 (* ---------------------------------------------------------------- *)
+
+(* Two independent integer mixers; a fingerprint is a pair of digests,
+   one per mixer, so a chance collision needs to happen in both. *)
+let mix1 h x = ((h lxor x) * 0x100000001B3) land max_int
+let mix2 h x = ((h lxor (x * 0x9E3779B1)) * 0x27D4EB2F) land max_int
 
 module Aug_target = struct
   type exec = { aug : Aug.t; result : Aug.F.result; complete : bool }
@@ -604,27 +996,101 @@ module Aug_target = struct
   let workload ?(oracles = default_oracles) ?inject ?(faults = []) ~name ~f ~m
       ~bodies () =
     let ocs = oracle_counters oracles in
-    let exec ~sched ~max_ops ~check =
+    let exec ~probe ~sched ~max_ops ~check =
       let aug = Aug.create ?inject ~f ~m () in
       (* A plan is single-run (fire-once state), so compile it afresh for
          every execution: replays see the identical fault environment. *)
       let plan = Faults.plan ~adapter:Aug.fault_adapter faults in
       let control = Faults.control plan in
+      (* Rolling state digests for the engine's fingerprint: one pair of
+         accumulators per fiber folding its (operation, result) history
+         — bodies are deterministic, so this pins down the fiber's whole
+         local state — and one pair per single-writer H component
+         folding, for each append, the issuer's fiber digest at issue
+         time (append contents are a function of the issuer's history,
+         so the payload itself, which contains recursive snapshots,
+         never needs hashing). A scan's result hash is the combined
+         H-component digest at scan time. *)
+      let fib1 = Array.make f 0x1505 in
+      let fib2 = Array.make f 0x9747 in
+      let comp1 = Array.make f 0x1505 in
+      let comp2 = Array.make f 0x9747 in
+      let apply ~pid op =
+        let res = Aug.apply aug ~pid op in
+        let tag =
+          match op with
+          | Aug.Ops.Hscan -> 1
+          | Aug.Ops.Happend_triples _ -> 2
+          | Aug.Ops.Happend_lrecords _ -> 3
+        in
+        (match op with
+        | Aug.Ops.Hscan -> ()
+        | Aug.Ops.Happend_triples _ | Aug.Ops.Happend_lrecords _ ->
+          comp1.(pid) <- mix1 (mix1 comp1.(pid) fib1.(pid)) tag;
+          comp2.(pid) <- mix2 (mix2 comp2.(pid) fib2.(pid)) tag);
+        let r1, r2 =
+          match res with
+          | Aug.Ops.Ack -> (17, 17)
+          | Aug.Ops.Snap _ ->
+            (Array.fold_left mix1 5 comp1, Array.fold_left mix2 5 comp2)
+        in
+        fib1.(pid) <- mix1 (mix1 fib1.(pid) tag) r1;
+        fib2.(pid) <- mix2 (mix2 fib2.(pid) tag) r2;
+        res
+      in
+      let fingerprint live =
+        let fold mixf a b =
+          let h = ref 0 in
+          Array.iter (fun d -> h := mixf !h d) a;
+          Array.iter (fun d -> h := mixf !h d) b;
+          List.iter (fun p -> h := mixf !h (p + 1)) live;
+          !h
+        in
+        (fold mix1 fib1 comp1, fold mix2 fib2 comp2)
+      in
+      (* Two pending Block-Update appends targeting disjoint
+         M-components commute for every oracle we run (single-writer H:
+         each writes only its own H component); anything involving a
+         scan or a helping write does not. *)
+      let indep pending a b =
+        match (pending a, pending b) with
+        | Some (Aug.Ops.Happend_triples ta), Some (Aug.Ops.Happend_triples tb)
+          ->
+          List.for_all
+            (fun (t : Hrep.triple) ->
+              not
+                (List.exists
+                   (fun (u : Hrep.triple) -> u.Hrep.comp = t.Hrep.comp)
+                   tb))
+            ta
+        | _ -> false
+      in
+      let fprobe =
+        Option.map
+          (fun p ~step ~live ~pending ->
+            p
+              {
+                step;
+                live;
+                fingerprint = Some (fingerprint live);
+                indep = indep pending;
+              })
+          probe
+      in
       let result =
-        Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ~sched
-          ~apply:(Aug.apply aug) (bodies aug)
+        Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ?probe:fprobe
+          ~sched ~apply (bodies aug)
       in
       let live = live_of result.Aug.F.statuses in
       let complete = live = [] in
-      let errors =
-        if not check then [] else judge ocs ~complete { aug; result; complete }
-      in
+      let judge_now () = judge ocs ~complete { aug; result; complete } in
       {
         script =
           List.map (fun (e : Aug.F.trace_entry) -> e.pid) result.Aug.F.trace;
         live;
         steps = result.Aug.F.total_ops;
-        errors;
+        errors = (if check then judge_now () else []);
+        judge = judge_now;
       }
     in
     {
@@ -813,7 +1279,7 @@ module Harness_target = struct
       | None -> if faults = [] then default_oracles else fault_oracles
     in
     let ocs = oracle_counters oracles in
-    let exec ~sched ~max_ops ~check =
+    let exec ~probe ~sched ~max_ops ~check =
       let hspec =
         {
           Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
@@ -824,7 +1290,18 @@ module Harness_target = struct
           inputs = List.init f (fun p -> Value.Int (p + 1));
         }
       in
-      let result = Harness.run ~max_ops ~faults ?watchdog ~sched hspec in
+      (* No state fingerprint for simulation runs: simulator local state
+         is too rich to digest soundly at this boundary, so the engine
+         still shares prefixes but never dedups or sleeps branches. *)
+      let fprobe =
+        Option.map
+          (fun p ~step ~live ~pending:_ ->
+            p { step; live; fingerprint = None; indep = (fun _ _ -> false) })
+          probe
+      in
+      let result =
+        Harness.run ~max_ops ~faults ?watchdog ?probe:fprobe ~sched hspec
+      in
       let live = ref [] in
       Array.iteri
         (fun pid st ->
@@ -835,10 +1312,7 @@ module Harness_target = struct
         result.Harness.statuses;
       let live = List.rev !live in
       let complete = live = [] in
-      let errors =
-        if not check then []
-        else judge ocs ~complete { hspec; result; complete }
-      in
+      let judge_now () = judge ocs ~complete { hspec; result; complete } in
       {
         script =
           List.map
@@ -846,7 +1320,8 @@ module Harness_target = struct
             result.Harness.trace;
         live;
         steps = result.Harness.total_ops;
-        errors;
+        errors = (if check then judge_now () else []);
+        judge = judge_now;
       }
     in
     {

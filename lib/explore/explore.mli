@@ -9,11 +9,15 @@
     run its fibers under a given schedule, judge the execution with
     oracles"; two engines drive workloads:
 
-    - {!exhaustive} enumerates {e every} schedule up to a step bound by
-      DFS over the scheduler's decision points (replaying from scratch on
-      each branch — effect continuations are one-shot), optionally
-      restricted to a preemption budget (iterative context bounding) to
-      tame the blowup;
+    - {!exhaustive} enumerates every schedule up to a step bound with a
+      parallel prefix-sharing frontier: each schedule prefix is executed
+      {e once} (the fiber runtime's probe hook enumerates sibling
+      branches mid-run — effect continuations are one-shot, so branching
+      still costs one execution per tree edge, but never a replay per
+      node), states already reached by an equivalent interleaving are
+      pruned by fingerprint, commuting Block-Updates are pruned by sleep
+      sets, and the frontier is shared work-stealing-style across
+      [Domain]s with a deterministic merge;
     - {!sweep} runs seeded randomized schedules — uniform, crashy
       ({!Rsim_shmem.Schedule.with_crashes}), x-obstruction
       ({!Rsim_shmem.Schedule.among}) and scripted adversaries — in
@@ -29,6 +33,24 @@ open Rsim_shmem
 
 (** {2 Workloads and outcomes} *)
 
+(** What the exploration engine observes at one scheduling decision of a
+    probed execution: the decision index, the schedulable pids, a
+    canonical state fingerprint (two independently-mixed digests of the
+    shared state and every fiber's operation/result history; [None] when
+    the workload cannot fingerprint soundly), and the independence
+    relation between two live pids' pending operations (true only when
+    executing them in either order is equivalent for every oracle the
+    workload runs). *)
+type probe_view = {
+  step : int;
+  live : int list;
+  fingerprint : (int * int) option;
+  indep : int -> int -> bool;
+}
+
+(** Returning [`Stop] ends the execution at that decision point. *)
+type probe = probe_view -> [ `Continue | `Stop ]
+
 (** The result of driving one execution under one schedule. *)
 type outcome = {
   script : int list;
@@ -37,13 +59,18 @@ type outcome = {
   live : int list;  (** pids still pending when the run stopped *)
   steps : int;  (** base-object operations executed *)
   errors : string list;  (** oracle violations; [[]] if passing or unchecked *)
+  judge : unit -> string list;
+      (** judge this execution now — lets an engine run with [check]
+          false and pay for oracles only on executions that are real
+          leaves (not pruned mid-run) *)
 }
 
 (** How to build a fresh instance, run its fibers, and judge the result.
-    [exec] must be re-entrant (fresh state on every call): the sweep
-    engine calls it concurrently from several [Domain]s. When [check] is
-    false the engine only needs [script]/[live]/[steps] (oracle work is
-    skipped). *)
+    [exec] must be re-entrant (fresh state on every call): both engines
+    call it concurrently from several [Domain]s. When [check] is false
+    the engine only needs [script]/[live]/[steps] and judges lazily via
+    [judge]. [probe], if given, is called before every scheduling
+    decision with the reached state's {!probe_view}. *)
 type workload = {
   name : string;
   n_procs : int;
@@ -52,7 +79,12 @@ type workload = {
   inject : string option;  (** seeded bug, if any (see {!Aug_target}) *)
   faults : string option;
       (** fault-plane profile ({!Rsim_faults.Faults.to_string}), if any *)
-  exec : sched:Schedule.t -> max_ops:int -> check:bool -> outcome;
+  exec :
+    probe:probe option ->
+    sched:Schedule.t ->
+    max_ops:int ->
+    check:bool ->
+    outcome;
 }
 
 type violation = {
@@ -66,19 +98,56 @@ type violation = {
 type exhaustive_report = {
   complete : int;  (** executions in which every fiber finished *)
   truncated : int;  (** executions cut off by the step bound *)
-  prefixes : int;  (** schedule prefixes replayed during the DFS *)
+  prefixes : int;  (** tree nodes expanded (schedule prefixes visited) *)
+  executions : int;  (** workload executions actually run *)
+  dedup_hits : int;  (** branches cut at an already-claimed state *)
+  pruned : int;  (** branches cut by the sleep-set independence rule *)
+  domains : int;  (** parallel workers used *)
   violations : violation list;
 }
 
 (** [exhaustive w] explores every schedule of [w] whose length is at most
-    [max_steps] (default 64). Oracles run on every maximal execution —
-    complete or truncated (subject to each oracle's [on_truncated]).
+    [max_steps] (default 64) with the parallel prefix-sharing engine.
+    Oracles run on every maximal execution — complete or truncated
+    (subject to each oracle's [on_truncated]).
+
     [preemption_bound], if given, only explores schedules with at most
     that many preemptions (a context switch away from a fiber that could
     still run); bound 0 explores exactly the non-preemptive schedules.
-    Stops after [max_violations] (default 1) distinct shrunk
-    counterexamples. *)
+    [domains] (default [min 4 (recommended_domain_count - 1)], at least
+    1) sets the number of parallel workers. [dedup] (default true) prunes
+    prefixes reaching a state already claimed by an equivalent
+    interleaving; [independence] (default true) additionally sleeps
+    commuting sibling branches (Block-Update appends to disjoint
+    components). Both pruning modes switch themselves off when the
+    workload has a fault profile (reached states then depend on wake-up
+    clocks the fingerprint cannot see), and [independence] also under a
+    preemption bound.
+
+    Counts and — absent an early stop — the violation set are
+    deterministic functions of the workload and the pruning flags,
+    regardless of [domains]: state claims are atomic and equal state
+    keys have equal futures, so the merged report does not depend on
+    which racing task wins a claim. Stops early (atomically, across all
+    domains) after [max_violations] (default 1) raw violations; the raw
+    set is then merged deterministically (shortest script first),
+    shrunk, and deduplicated. *)
 val exhaustive :
+  ?max_steps:int ->
+  ?preemption_bound:int ->
+  ?max_violations:int ->
+  ?domains:int ->
+  ?dedup:bool ->
+  ?independence:bool ->
+  workload ->
+  exhaustive_report
+
+(** The pre-parallel engine, kept as the measurement baseline for
+    [bench --explore-only]: a single-domain DFS that re-executes every
+    schedule prefix from scratch (O(L²) executions per leaf) and
+    re-executes each leaf once more to judge it. Same report shape, with
+    [dedup_hits]/[pruned] 0 and [domains] 1. *)
+val exhaustive_naive :
   ?max_steps:int ->
   ?preemption_bound:int ->
   ?max_violations:int ->
@@ -93,7 +162,8 @@ type sweep_report = {
 
 (** [sweep ~budget ~seed w] runs [budget] seeded randomized schedules
     split across [domains] parallel [Domain]s (default:
-    [min 4 (recommended_domain_count - 1)], at least 1). Schedule
+    [min 4 (recommended_domain_count - 1)], at least 1, and never more
+    than [budget] — tiny budgets do not spawn idle domains). Schedule
     families are drawn deterministically from the per-execution seed:
     uniform random, random-with-crashes, x-obstruction suffixes
     ([Schedule.among]) and random scripts. Executions are capped at
@@ -182,7 +252,9 @@ module Aug_target : sig
       [bodies aug] must build fresh fiber bodies (one per pid, [f] of
       them) on every call. [faults] is a fault-plane profile compiled
       afresh (fire-once state and all) on every execution, so replays are
-      deterministic. *)
+      deterministic. Executions maintain rolling state digests, so the
+      exploration engine's probe always gets a fingerprint and the
+      disjoint-component Block-Update independence relation. *)
   val workload :
     ?oracles:exec Oracle.t list ->
     ?inject:Rsim_augmented.Aug.fault ->
@@ -258,7 +330,9 @@ module Harness_target : sig
       snapshot, simulating [n] processes. Workload name ["racing"].
       [faults]/[watchdog] are passed to every
       {!Rsim_simulation.Harness.run}; with a non-empty [faults] the
-      default oracles switch to {!fault_oracles}. *)
+      default oracles switch to {!fault_oracles}. Probed executions get
+      no state fingerprint (simulator local state is too rich to digest
+      soundly), so the engine shares prefixes but never prunes. *)
   val racing :
     ?oracles:exec Oracle.t list ->
     ?faults:Rsim_faults.Faults.spec list ->

@@ -48,6 +48,11 @@ module F : sig
     ?control:(pid:int -> nth:int -> Ops.op -> Ops.op Rsim_runtime.Fiber.directive) ->
     ?max_restarts:int ->
     ?obs_label:(Ops.op -> string) ->
+    ?probe:
+      (step:int ->
+      live:int list ->
+      pending:(int -> Ops.op option) ->
+      [ `Continue | `Stop ]) ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> Ops.op -> Ops.res) ->
     (int -> unit) list ->

@@ -88,7 +88,7 @@ module Make (M : OPS) = struct
   let default_obs_label (_ : M.op) = "op"
 
   let run ?(max_ops = 1_000_000) ?control ?(max_restarts = 4)
-      ?(obs_label = default_obs_label) ~sched ~apply bodies =
+      ?(obs_label = default_obs_label) ?probe ~sched ~apply bodies =
     let n = List.length bodies in
     let bodies_arr = Array.of_list bodies in
     let slots = Array.make n Fresh in
@@ -173,6 +173,15 @@ module Make (M : OPS) = struct
       done;
       !best
     in
+    (* [decisions] counts successful scheduling decisions only; unlike
+       [clock] it never jumps on stall/restart fast-forwards, so a probe
+       sees a dense 0,1,2,... step sequence it can index prefixes by. *)
+    let decisions = ref 0 in
+    let pending_of pid =
+      match slots.(pid) with
+      | Suspended { pending_op; _ } -> Some pending_op
+      | Fresh | Finished _ -> None
+    in
     let rec loop sched =
       if !total >= max_ops then ()
       else begin
@@ -185,11 +194,21 @@ module Make (M : OPS) = struct
             clock := c;
             loop sched
           | None -> ())
+        | live
+          when match probe with
+               | None -> false
+               | Some p -> (
+                 match p ~step:!decisions ~live ~pending:pending_of with
+                 | `Continue -> false
+                 | `Stop -> true) ->
+          (* The probe asked to stop before this decision was made. *)
+          ()
         | live -> (
           match Rsim_shmem.Schedule.next sched ~live with
           | None -> ()
           | Some (pid, sched') ->
             incr clock;
+            incr decisions;
             (match slots.(pid) with
             | Suspended { pending_op; resume } -> (
               let exec op =

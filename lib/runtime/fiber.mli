@@ -110,12 +110,27 @@ module Make (M : OPS) : sig
 
       [obs_label] names each operation in the emitted trace (default
       ["op"]); pass e.g. {!Rsim_augmented.Aug.op_name} for readable
-      per-operation lanes in [chrome://tracing]. *)
+      per-operation lanes in [chrome://tracing].
+
+      [probe] is invoked once per scheduling decision, just before the
+      schedule is consulted: [step] is the number of decisions made so
+      far (a dense 0,1,2,... sequence, unlike the internal clock, which
+      fast-forwards across stall/restart waits), [live] the schedulable
+      pids in ascending order, and [pending pid] that fiber's waiting
+      operation, if any. Returning [`Stop] ends the run at that point as
+      if the schedule were exhausted. Exploration engines use this to
+      observe reached states and enumerate sibling branches without
+      re-executing the prefix. *)
   val run :
     ?max_ops:int ->
     ?control:(pid:int -> nth:int -> M.op -> M.op directive) ->
     ?max_restarts:int ->
     ?obs_label:(M.op -> string) ->
+    ?probe:
+      (step:int ->
+      live:int list ->
+      pending:(int -> M.op option) ->
+      [ `Continue | `Stop ]) ->
     sched:Rsim_shmem.Schedule.t ->
     apply:(pid:int -> M.op -> M.res) ->
     (int -> unit) list ->

@@ -75,7 +75,7 @@ let default_watchdog ~f ~m ~max_ops =
   else (4 * b) + 64
 
 let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ?(faults = [])
-    ?watchdog ~sched spec =
+    ?watchdog ?probe ~sched spec =
   check_spec spec;
   let watchdog_budget =
     match watchdog with
@@ -142,7 +142,7 @@ let run ?(max_ops = 2_000_000) ?(local_cap = 100_000) ?(faults = [])
     | directive -> directive
   in
   let fr =
-    Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ~sched
+    Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ?probe ~sched
       ~apply:(Aug.apply aug) bodies
   in
   Log.debug (fun k ->

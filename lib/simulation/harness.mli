@@ -73,12 +73,23 @@ val default_watchdog : f:int -> m:int -> max_ops:int -> int
     supervision step budget: a simulator that performs that many
     H-operations is diverging and gets quarantined — crashed in place,
     recorded in [result.report.quarantined] — while the run continues
-    with the others. *)
+    with the others.
+
+    [probe] is forwarded to the fiber runtime
+    ({!Rsim_augmented.Aug.F.run}): called before every scheduling
+    decision with the decision index, the live pids, and each fiber's
+    pending H-operation; returning [`Stop] ends the run there.
+    Exploration engines use it to branch without replaying prefixes. *)
 val run :
   ?max_ops:int ->
   ?local_cap:int ->
   ?faults:Rsim_faults.Faults.spec list ->
   ?watchdog:int ->
+  ?probe:
+    (step:int ->
+    live:int list ->
+    pending:(int -> Rsim_augmented.Aug.Ops.op option) ->
+    [ `Continue | `Stop ]) ->
   sched:Schedule.t ->
   spec ->
   result

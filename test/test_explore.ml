@@ -24,7 +24,11 @@ let test_theorem20_exhaustive () =
      conflicting Block-Updates (f=2, m=2) up to 10 steps satisfies the
      full §3 spec — in particular Theorem 20: process 0 never yields. *)
   let w = get_builtin "bu-conflict" ~f:2 ~m:2 in
-  let rep = Explore.exhaustive ~max_steps:10 w in
+  (* Pruning off: this test is about enumerating the literal full space,
+     so the coverage thresholds below count every interleaving. *)
+  let rep =
+    Explore.exhaustive ~max_steps:10 ~dedup:false ~independence:false w
+  in
   Alcotest.(check (list (list int)))
     "no violations over all schedules" []
     (List.map (fun v -> v.Explore.script) rep.Explore.violations);
@@ -65,7 +69,15 @@ let test_seeded_yield_on_higher () =
      updates breaks Theorem 20 (process 0 now yields). The explorer must
      catch it, and the shrunk counterexample must be 1-minimal: removing
      any single step makes the script pass again. *)
-  let w = get_builtin ~inject:Aug.Yield_on_higher "bu-conflict" ~f:2 ~m:2 in
+  (* Judged by the Theorem 20 oracle alone: the injected bug also breaks
+     the window lemmas, and which counterexample surfaces first depends
+     on the engine's merge order. Pruning stays on (defaults): this test
+     doubles as dedup-soundness evidence for the seeded bug. *)
+  let w =
+    get_builtin ~inject:Aug.Yield_on_higher
+      ~oracles:[ Explore.Aug_target.theorem20 ]
+      "bu-conflict" ~f:2 ~m:2
+  in
   let rep = Explore.exhaustive ~max_steps:12 w in
   match rep.Explore.violations with
   | [] -> Alcotest.fail "seeded yield-on-higher bug was not caught"
@@ -92,7 +104,11 @@ let test_seeded_bug_artifact_roundtrip () =
      seeded bug, persist the shrunk counterexample as a JSON artifact,
      reload it from disk, rebuild the workload (including the injected
      fault), and reproduce the violation from the artifact alone. *)
-  let w = get_builtin ~inject:Aug.Yield_on_higher "bu-conflict" ~f:2 ~m:2 in
+  let w =
+    get_builtin ~inject:Aug.Yield_on_higher
+      ~oracles:[ Explore.Aug_target.theorem20 ]
+      "bu-conflict" ~f:2 ~m:2
+  in
   let rep = Explore.exhaustive ~max_steps:12 w in
   match rep.Explore.violations with
   | [] -> Alcotest.fail "seeded bug not caught"
@@ -466,6 +482,99 @@ let test_artifact_load_unreadable () =
       | Ok _ -> Alcotest.fail "malformed JSON should fail"
       | Error _ -> ())
 
+(* ---- parallel engine: equivalence, dedup soundness, clamps ---- *)
+
+let counts (r : Explore.exhaustive_report) =
+  (r.Explore.complete, r.Explore.truncated, r.Explore.prefixes)
+
+let scripts (r : Explore.exhaustive_report) =
+  List.sort compare (List.map (fun v -> v.Explore.script) r.Explore.violations)
+
+let clean_workload () = get_builtin "bu-conflict" ~f:2 ~m:2
+
+let seeded_workload () =
+  get_builtin ~inject:Aug.Yield_on_higher
+    ~oracles:[ Explore.Aug_target.theorem20 ]
+    "bu-conflict" ~f:2 ~m:2
+
+let test_engine_matches_naive () =
+  (* With pruning off and one domain the parallel engine must walk the
+     exact tree the pre-PR sequential DFS walked: same complete and
+     truncated counts, same prefix count, same violation set. The huge
+     [max_violations] keeps both engines from stopping early, so the
+     traversals are comparable. *)
+  let check name w =
+    let naive = Explore.exhaustive_naive ~max_steps:9 ~max_violations:10_000 w in
+    let engine =
+      Explore.exhaustive ~max_steps:9 ~max_violations:10_000 ~domains:1
+        ~dedup:false ~independence:false w
+    in
+    Alcotest.(check (triple int int int))
+      (name ^ ": counts match naive") (counts naive) (counts engine);
+    Alcotest.(check (list (list int)))
+      (name ^ ": violation scripts match naive")
+      (scripts naive) (scripts engine)
+  in
+  check "clean" (clean_workload ());
+  check "seeded" (seeded_workload ())
+
+let test_domain_count_invariance () =
+  (* Pruning off fixes the tree; the report must then be bit-identical
+     at 1, 2 and 4 domains — counts and violation set both. *)
+  let run w d =
+    Explore.exhaustive ~max_steps:9 ~max_violations:10_000 ~domains:d
+      ~dedup:false ~independence:false w
+  in
+  let invariant name w =
+    let r1 = run w 1 in
+    List.iter
+      (fun d ->
+        let r = run w d in
+        Alcotest.(check (triple int int int))
+          (Printf.sprintf "%s: counts at %d domains" name d)
+          (counts r1) (counts r);
+        Alcotest.(check (list (list int)))
+          (Printf.sprintf "%s: violations at %d domains" name d)
+          (scripts r1) (scripts r))
+      [ 2; 4 ]
+  in
+  invariant "clean" (clean_workload ());
+  invariant "seeded" (seeded_workload ())
+
+let test_dedup_soundness () =
+  (* State dedup and sleep-set independence may only cut redundant
+     branches: the injected bug must still be caught with both on (the
+     defaults), and the pruned tree must be domain-count invariant too
+     (exactly one winner per claim key, so the cuts are deterministic). *)
+  let run d = Explore.exhaustive ~max_steps:10 ~domains:d (seeded_workload ()) in
+  let rep = run 1 in
+  Alcotest.(check bool) "bug caught with pruning on" true
+    (rep.Explore.violations <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "pruning actually fired (%d dedup hits, %d sleep prunes)"
+       rep.Explore.dedup_hits rep.Explore.pruned)
+    true
+    (rep.Explore.dedup_hits > 0);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "blames Theorem 20" true
+        (any_error ~sub:"theorem20" v.Explore.errors))
+    rep.Explore.violations;
+  let r4 = run 4 in
+  Alcotest.(check (list (list int)))
+    "pruned violation set invariant at 4 domains" (scripts rep) (scripts r4)
+
+let test_sweep_domain_clamp () =
+  (* Tiny budgets must not spawn idle domains. *)
+  let rep =
+    Explore.sweep ~budget:2 ~domains:8 ~seed:7 (clean_workload ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "domains clamped to budget (%d <= 2)" rep.Explore.domains)
+    true
+    (rep.Explore.domains <= 2);
+  Alcotest.(check int) "budget honored" 2 rep.Explore.executions
+
 (* ---- linearizable oracle over full explorations ---- *)
 
 let test_linearizable_oracle_exhaustive () =
@@ -504,11 +613,22 @@ let () =
           Alcotest.test_case "artifact JSON round trip" `Quick
             test_json_roundtrip_is_identity;
         ] );
+      ( "parallel engine",
+        [
+          Alcotest.test_case "engine matches naive DFS" `Quick
+            test_engine_matches_naive;
+          Alcotest.test_case "report invariant at 1/2/4 domains" `Quick
+            test_domain_count_invariance;
+          Alcotest.test_case "dedup + sleep sets stay sound" `Quick
+            test_dedup_soundness;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "clean workload, clean sweep" `Quick test_sweep_clean;
           Alcotest.test_case "sweep finds seeded bug" `Quick
             test_sweep_finds_seeded_bug;
+          Alcotest.test_case "domains clamped to budget" `Quick
+            test_sweep_domain_clamp;
         ] );
       ( "crash faults",
         [
