@@ -380,6 +380,18 @@ let explore_cmd =
             "Exhaustive: disable sleep-set pruning of independent \
              (component-disjoint) Block-Update interleavings.")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify-independence" ]
+          ~doc:
+            "Exhaustive: validate every sleep-set prune at runtime — each \
+             pruned pair's operations must turn out to be triple-appends on \
+             disjoint components once they execute. Checks and violations are \
+             counted in the explore.certify.* metrics and printed; a non-zero \
+             violation count means the independence relation lied and exits \
+             with status 1.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sweep: base seed.") in
   let inject =
     Arg.(
@@ -412,8 +424,8 @@ let explore_cmd =
       & info [ "out" ] ~docv:"PATH" ~doc:"Save counterexample artifacts here.")
   in
   let run workload f m n d mode max_steps preemption_bound budget domains
-      no_dedup no_independence seed inject faults max_violations out metrics
-      trace_out =
+      no_dedup no_independence certify seed inject faults max_violations out
+      metrics trace_out =
     match build_workload ~workload ~f ~m ~n ~d ~inject ~faults ~seed with
     | Error e ->
       Log.err (fun k -> k "explore: %s" e);
@@ -430,7 +442,7 @@ let explore_cmd =
           let rep =
             Explore.exhaustive ~max_steps ?preemption_bound ~max_violations
               ?domains ~dedup:(not no_dedup)
-              ~independence:(not no_independence) w
+              ~independence:(not no_independence) ~certify w
           in
           Printf.printf
             "exhaustive %s: %d prefixes, %d complete + %d truncated executions \
@@ -441,12 +453,33 @@ let explore_cmd =
             | None -> ""
             | Some b -> Printf.sprintf ", <= %d preemptions" b)
             rep.Explore.domains rep.Explore.dedup_hits rep.Explore.pruned;
+          if certify then
+            Printf.printf
+              "certify-independence: %d commutation claims checked, %d \
+               violations\n"
+              rep.Explore.certify_checks rep.Explore.certify_violations;
           List.iteri print_violation rep.Explore.violations;
           save_violations ~out ~workload:w ~max_steps rep.Explore.violations;
-          if rep.Explore.violations = [] then
+          if rep.Explore.violations = [] && rep.Explore.certify_violations = 0
+          then
             print_endline
               "no violations: every explored schedule satisfies the oracles";
-          rep.Explore.violations
+          if rep.Explore.certify_violations > 0 then
+            (* surface unsound prunes through the same exit path as
+               oracle violations *)
+            [
+              {
+                Explore.script = [];
+                original = [];
+                errors =
+                  [
+                    Printf.sprintf
+                      "certify-independence: %d unsound sleep-set prunes"
+                      rep.Explore.certify_violations;
+                  ];
+              };
+            ]
+          else rep.Explore.violations
         | `Sweep ->
           let max_steps = if max_steps = 0 then 200 else max_steps in
           let rep =
@@ -479,8 +512,8 @@ let explore_cmd =
          ])
     Term.(
       const run $ workload $ f $ m $ n $ d $ mode $ max_steps $ preemption_bound
-      $ budget $ domains $ no_dedup $ no_independence $ seed $ inject $ faults
-      $ max_violations $ out $ metrics_arg $ trace_out_arg)
+      $ budget $ domains $ no_dedup $ no_independence $ certify $ seed $ inject
+      $ faults $ max_violations $ out $ metrics_arg $ trace_out_arg)
 
 (* ---------------- replay ---------------- *)
 
@@ -604,6 +637,100 @@ let stats_cmd =
          ])
     Term.(const run $ path $ format $ trace_out_arg)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Workspace root to scan (lib/, bin/, bench/, dev/ under it).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"PATH"
+          ~doc:
+            "Findings baseline; only findings not in it fail the run \
+             (default: DIR/lint.baseline.json).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Write the JSON report here.")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:"Rewrite the baseline to the current findings and exit 0.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Print baselined findings too, not only fresh ones.")
+  in
+  let run root baseline out update all =
+    let bpath =
+      match baseline with
+      | Some p -> p
+      | None -> Filename.concat root "lint.baseline.json"
+    in
+    let report = Lint.scan ~root () in
+    match Lint.load_baseline ~path:bpath with
+    | Error e ->
+      Log.err (fun k -> k "lint: %s" e);
+      exit 2
+    | Ok base ->
+      let fresh = Lint.fresh_against ~baseline:base report.Lint.findings in
+      (match out with
+      | None -> ()
+      | Some p ->
+        let oc = open_out p in
+        output_string oc
+          (Obs.Json.to_string_pretty
+             (Lint.report_to_json ~tool:"rsim-lint" ~fresh report));
+        output_string oc "\n";
+        close_out oc);
+      if update then begin
+        let oc = open_out bpath in
+        output_string oc (Lint.baseline_to_string report.Lint.findings);
+        close_out oc;
+        Printf.printf "baseline updated: %d findings\n"
+          (List.length report.Lint.findings)
+      end
+      else begin
+        Printf.printf
+          "rsim-lint: %d files, %d findings (%d baselined, %d fresh)\n"
+          report.Lint.files
+          (List.length report.Lint.findings)
+          (List.length report.Lint.findings - List.length fresh)
+          (List.length fresh);
+        List.iter
+          (fun f -> Format.printf "%a@." Lint.pp_finding f)
+          (if all then report.Lint.findings else fresh);
+        if fresh <> [] then exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of the workspace: shared-mutability discipline \
+          (R1), no direct printing in libraries (R2), determinism of the \
+          model-checked paths (R3), no partial functions on hot paths (R4), \
+          interfaces everywhere (R5). Fails only on findings not in the \
+          committed baseline."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"no fresh findings.";
+           Cmd.Exit.info 1 ~doc:"at least one finding not in the baseline.";
+           Cmd.Exit.info 2 ~doc:"the baseline file is unreadable.";
+           Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command-line parse error.";
+         ])
+    Term.(const run $ root $ baseline $ out $ update $ all)
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -640,6 +767,7 @@ let main_cmd =
       explore_cmd;
       replay_cmd;
       stats_cmd;
+      lint_cmd;
       experiments_cmd;
     ]
 

@@ -1,0 +1,67 @@
+(* Standalone rsim-lint driver, the binary the CI lint job runs: scan
+   the workspace, diff the findings against the committed baseline,
+   optionally write the JSON report, exit 1 on fresh findings. The
+   [rsim lint] subcommand wraps the same library with the same
+   semantics; this one exists so linting needs nothing but dune and
+   compiler-libs. *)
+
+let () =
+  let root = ref "." in
+  let baseline = ref None in
+  let out = ref None in
+  let update = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR workspace root (default: .)");
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "PATH baseline file (default: ROOT/lint.baseline.json)" );
+      ( "--out",
+        Arg.String (fun s -> out := Some s),
+        "PATH write the JSON report here" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " rewrite the baseline to the current findings and exit 0" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "rsim_lint [options]";
+  let root = !root in
+  let bpath =
+    match !baseline with
+    | Some p -> p
+    | None -> Filename.concat root "lint.baseline.json"
+  in
+  let report = Lint.scan ~root () in
+  match Lint.load_baseline ~path:bpath with
+  | Error e ->
+    prerr_endline e;
+    exit 2
+  | Ok base ->
+    let fresh = Lint.fresh_against ~baseline:base report.Lint.findings in
+    (match !out with
+    | None -> ()
+    | Some p ->
+      let oc = open_out p in
+      output_string oc
+        (Rsim_obs.Obs.Json.to_string_pretty
+           (Lint.report_to_json ~tool:"rsim-lint" ~fresh report));
+      output_string oc "\n";
+      close_out oc);
+    if !update then begin
+      let oc = open_out bpath in
+      output_string oc (Lint.baseline_to_string report.Lint.findings);
+      close_out oc;
+      Printf.printf "baseline updated: %d findings\n"
+        (List.length report.Lint.findings)
+    end
+    else begin
+      Printf.printf "rsim-lint: %d files, %d findings (%d baselined, %d fresh)\n"
+        report.Lint.files
+        (List.length report.Lint.findings)
+        (List.length report.Lint.findings - List.length fresh)
+        (List.length fresh);
+      List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) fresh;
+      if fresh <> [] then exit 1
+    end

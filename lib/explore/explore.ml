@@ -10,6 +10,7 @@ module Faults = Rsim_faults.Faults
 module Task = Rsim_tasks.Task
 module Racing = Rsim_protocols.Racing
 module Obs = Rsim_obs.Obs
+module Hb = Rsim_runtime.Hb
 
 (* Engine telemetry, shared by all engines and safe under parallel
    domains (atomic counters). Schedules/sec is the caller's division of
@@ -27,6 +28,13 @@ let m_steals = Obs.Metrics.counter "explore.steals"
 let m_dedup = Obs.Metrics.counter "explore.dedup.hits"
 let m_sleep = Obs.Metrics.counter "explore.sleep.prunes"
 let g_frontier = Obs.Metrics.gauge "explore.frontier.depth"
+
+(* Independence certification (--certify-independence): commuting claims
+   behind sleep-set prunes that were validated against the executed
+   operations' real footprints, and the ones that turned out to be wrong
+   — i.e. pruned pairs with a happens-before edge after all. *)
+let m_cert_checks = Obs.Metrics.counter "explore.certify.checks"
+let m_cert_viols = Obs.Metrics.counter "explore.certify.violations"
 
 (* Context switches away from a pid that appears again later — the
    preemption depth of an executed schedule. *)
@@ -50,6 +58,7 @@ type probe_view = {
   live : int list;
   fingerprint : (int * int) option;
   indep : int -> int -> bool;
+  claim : int -> int -> unit;
 }
 
 type probe = probe_view -> [ `Continue | `Stop ]
@@ -70,6 +79,7 @@ type workload = {
   faults : string option;
   exec :
     probe:probe option ->
+    certify:bool ->
     sched:Schedule.t ->
     max_ops:int ->
     check:bool ->
@@ -130,8 +140,8 @@ let fault_of_string = function
 
 let replay w ~max_steps ~script =
   Obs.Metrics.incr m_execs;
-  w.exec ~probe:None ~sched:(Schedule.script script) ~max_ops:max_steps
-    ~check:true
+  w.exec ~probe:None ~certify:false ~sched:(Schedule.script script)
+    ~max_ops:max_steps ~check:true
 
 let failing w ~max_steps script =
   Obs.Metrics.incr m_shrink;
@@ -226,6 +236,8 @@ type exhaustive_report = {
   dedup_hits : int;
   pruned : int;
   domains : int;
+  certify_checks : int;
+  certify_violations : int;
   violations : violation list;
 }
 
@@ -265,8 +277,8 @@ let exhaustive_naive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
       Obs.Metrics.incr m_execs;
       let script = List.rev rev_script in
       let out =
-        w.exec ~probe:None ~sched:(Schedule.script script) ~max_ops:max_steps
-          ~check:false
+        w.exec ~probe:None ~certify:false ~sched:(Schedule.script script)
+          ~max_ops:max_steps ~check:false
       in
       if out.live = [] then leaf ~cut:false script
       else if nsteps >= max_steps then leaf ~cut:true script
@@ -298,6 +310,8 @@ let exhaustive_naive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
     dedup_hits = 0;
     pruned = 0;
     domains = 1;
+    certify_checks = 0;
+    certify_violations = 0;
     violations = List.rev !violations;
   }
 
@@ -331,7 +345,7 @@ let sleep_mask = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0
    sorted merge — are reproducible regardless of the number of domains
    or of which racing task wins a claim. *)
 let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
-    ?domains ?(dedup = true) ?(independence = true) w =
+    ?domains ?(dedup = true) ?(independence = true) ?(certify = false) w =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -344,9 +358,18 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
      changes which schedules spend the budget. *)
   let dedup = dedup && w.faults = None in
   let independence = independence && w.faults = None && preemption_bound = None in
+  (* Certification only has claims to validate while sleep sets are
+     active; the baseline counter values turn the global metrics into
+     per-run deltas for the report. *)
+  let certify = certify && independence in
+  let cert_checks0 = Obs.Metrics.counter_value m_cert_checks in
+  let cert_viols0 = Obs.Metrics.counter_value m_cert_viols in
   (* Sharded claim table: a state key is claimed by exactly one task;
      everyone else is pruned. *)
-  let shards = Array.init 64 (fun _ -> (Mutex.create (), Hashtbl.create 251)) in
+  let shards =
+    (Array.init 64 (fun _ -> (Mutex.create (), Hashtbl.create 251))
+    [@rsim.shared "each shard's table is only touched under its mutex"])
+  in
   let claim key =
     let mu, tbl = shards.(Hashtbl.hash key land 63) in
     Mutex.lock mu;
@@ -360,10 +383,10 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
      domain to drain it broadcasts termination. *)
   let fmu = Mutex.create () in
   let fcv = Condition.create () in
-  let stack = ref [] in
-  let fsize = ref 0 in
-  let in_flight = ref 0 in
-  let finished = ref false in
+  let stack = (ref [] [@rsim.shared "guarded by fmu"]) in
+  let fsize = (ref 0 [@rsim.shared "guarded by fmu"]) in
+  let in_flight = (ref 0 [@rsim.shared "guarded by fmu"]) in
+  let finished = (ref false [@rsim.shared "guarded by fmu"]) in
   let stop = Atomic.make false in
   let push ts =
     if ts <> [] then begin
@@ -433,8 +456,8 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
      report a few extra raw violations, which the sorted merge then
      truncates identically on every run that was not stopped early. *)
   let vmu = Mutex.create () in
-  let raw = ref [] in
-  let nraw = ref 0 in
+  let raw = (ref [] [@rsim.shared "guarded by vmu"]) in
+  let nraw = (ref 0 [@rsim.shared "guarded by vmu"]) in
   let report_raw script errors =
     Mutex.lock vmu;
     raw := (script, errors) :: !raw;
@@ -538,6 +561,12 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
                           (fun z -> pv.indep z c)
                           (List.sort_uniq compare (!sleep @ !earlier))
                     in
+                    (* --certify-independence: every pair whose claimed
+                       commutation justifies putting [c] to sleep on [z]
+                       is validated once both operations actually
+                       execute (the workload checks their real
+                       footprints are disjoint). *)
+                    if certify then List.iter (fun z -> pv.claim z c) zsleep;
                     children :=
                       {
                         rev_prefix = c :: !rev_path;
@@ -553,7 +582,12 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
               end;
               sleep :=
                 (if independence then
-                   List.filter (fun z -> pv.indep z chosen) !sleep
+                   List.filter
+                     (fun z ->
+                       let ok = pv.indep z chosen in
+                       if ok && certify then pv.claim z chosen;
+                       ok)
+                     !sleep
                  else []);
               preempts := preempts_of_child chosen;
               last := chosen;
@@ -565,7 +599,7 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
       end
     in
     let out =
-      w.exec ~probe:(Some probe)
+      w.exec ~probe:(Some probe) ~certify
         ~sched:(Schedule.fn (fun ~step:_ ~live:_ -> Some !next_pick))
         ~max_ops:max_steps ~check:false
     in
@@ -634,6 +668,8 @@ let exhaustive ?(max_steps = 64) ?preemption_bound ?(max_violations = 1)
     dedup_hits = Atomic.get n_dedup;
     pruned = Atomic.get n_pruned;
     domains;
+    certify_checks = Obs.Metrics.counter_value m_cert_checks - cert_checks0;
+    certify_violations = Obs.Metrics.counter_value m_cert_viols - cert_viols0;
     violations = List.rev violations;
   }
 
@@ -719,7 +755,10 @@ let sweep ?domains ?(max_steps = 200) ?(max_violations = 1) ~budget ~seed w =
     while !k < hi && Atomic.get found < max_violations do
       let sched = gen_sched ~n_procs:w.n_procs ~max_steps ~seed:(seed + !k) in
       Obs.Metrics.incr m_execs;
-      let out = w.exec ~probe:None ~sched ~max_ops:max_steps ~check:true in
+      let out =
+        w.exec ~probe:None ~certify:false ~sched ~max_ops:max_steps
+          ~check:true
+      in
       Obs.Metrics.observe h_preempt (preemptions_of out.script);
       incr count;
       if out.errors <> [] then begin
@@ -980,6 +1019,106 @@ module Aug_target = struct
             spec_errs @ lin_errs);
     }
 
+  (* Happens-before race oracle (DESIGN §10). Replay the trace through
+     an [Hb.Tracker]: H is single-writer, so location = component =
+     pid; an append publishes the issuer's clock, an H.scan joins every
+     published clock, and fault-plane events are incarnation
+     boundaries. The Line-9 yield discipline then has a clock-checkable
+     shadow: a Block-Update by [q] that returns [Atomic] must have
+     observed, at its Line-2 scan, every M-conflicting triple-append by
+     a lower-identifier process linearized before its own Line-4 X
+     append — the single point the whole block linearizes at (Lemma
+     11). Appends landing after [x_idx] serialize after the block and
+     are harmless even when they precede the trailing Line-8/Line-12
+     scans. The clean object satisfies this structurally (a lower-id
+     append before the yield-check scan forces a yield, and [x_idx]
+     precedes that scan); [Skip_yield_check] and [Yield_on_higher]
+     break exactly this invariant. *)
+  let race_errors aug (result : Aug.F.result) =
+    let f = Array.length result.Aug.F.statuses in
+    let t = Hb.Tracker.create ~procs:f ~locs:f in
+    (* Fault events, grouped by the operation count at which they
+       fired: ticked just before the trace entry with that index. *)
+    let boundaries = Hashtbl.create 8 in
+    List.iter
+      (fun ev ->
+        let pid, at =
+          match ev with
+          | Rsim_runtime.Fiber.Ev_crash { pid; at; _ }
+          | Rsim_runtime.Fiber.Ev_restart { pid; at; _ }
+          | Rsim_runtime.Fiber.Ev_stall { pid; at; _ }
+          | Rsim_runtime.Fiber.Ev_replace { pid; at }
+          | Rsim_runtime.Fiber.Ev_raise { pid; at } -> (pid, at)
+        in
+        Hashtbl.add boundaries at pid)
+      result.Aug.F.events;
+    let stamps = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Aug.F.trace_entry) ->
+        List.iter
+          (fun pid -> Hb.Tracker.boundary t ~pid)
+          (Hashtbl.find_all boundaries e.idx);
+        (match e.op with
+        | Aug.Ops.Hscan -> Hb.Tracker.read_all t ~pid:e.pid
+        | Aug.Ops.Happend_triples _ | Aug.Ops.Happend_lrecords _ ->
+          Hb.Tracker.write t ~pid:e.pid ~loc:e.pid);
+        Hashtbl.replace stamps e.idx (Hb.Tracker.stamp t ~pid:e.pid))
+      result.Aug.F.trace;
+    let appends =
+      List.filter_map
+        (fun (e : Aug.F.trace_entry) ->
+          match e.op with
+          | Aug.Ops.Happend_triples ts ->
+            Some
+              ( e.idx,
+                e.pid,
+                List.map (fun (tr : Hrep.triple) -> tr.Hrep.comp) ts )
+          | Aug.Ops.Hscan | Aug.Ops.Happend_lrecords _ -> None)
+        result.Aug.F.trace
+    in
+    let errs = ref [] in
+    List.iter
+      (function
+        | Aug.Scan_op _ | Aug.Bu_op { result = Aug.Yield; _ } -> ()
+        | Aug.Bu_op
+            {
+              proc = q;
+              updates;
+              start_idx;
+              x_idx;
+              result = Aug.Atomic _;
+              _;
+            } -> (
+          let qcomps = List.map fst updates in
+          match Hashtbl.find_opt stamps start_idx with
+          | None -> ()
+          | Some scan_stamp ->
+            List.iter
+              (fun (idx, p, comps) ->
+                if
+                  p < q && idx < x_idx
+                  && List.exists (fun c -> List.mem c qcomps) comps
+                  && not (Hb.Clock.leq (Hashtbl.find stamps idx) scan_stamp)
+                then
+                  errs :=
+                    Printf.sprintf
+                      "race: atomic Block-Update by %d over [%d,%d] did not \
+                       observe conflicting append by %d at %d (%s not <= %s)"
+                      q start_idx x_idx p idx
+                      (Hb.Clock.show (Hashtbl.find stamps idx))
+                      (Hb.Clock.show scan_stamp)
+                    :: !errs)
+              appends))
+      (Aug.log aug);
+    List.rev !errs
+
+  let race : exec Oracle.t =
+    {
+      Oracle.name = "race";
+      on_truncated = true;
+      check = (fun { aug; result; _ } -> race_errors aug result);
+    }
+
   let default_oracles = [ no_failure; spec; theorem20; progress () ]
 
   let live_of statuses =
@@ -993,11 +1132,34 @@ module Aug_target = struct
       statuses;
     List.rev !live
 
-  let workload ?(oracles = default_oracles) ?inject ?(faults = []) ~name ~f ~m
-      ~bodies () =
+  let workload ?(oracles = default_oracles) ?inject ?(faults = [])
+      ?(unsound_indep = false) ~name ~f ~m ~bodies () =
     let ocs = oracle_counters oracles in
-    let exec ~probe ~sched ~max_ops ~check =
+    let exec ~probe ~certify ~sched ~max_ops ~check =
       let aug = Aug.create ?inject ~f ~m () in
+      (* --certify-independence bookkeeping. A claim names a pair of
+         fibers whose *next* operations the engine treated as
+         commuting; we key each side by (pid, applied-op ordinal) —
+         the pending operation at claim time is exactly the pid's next
+         applied one — and validate the pair once both footprints are
+         known: sound only if both sides are triple-appends on
+         disjoint M-components (single-writer H). *)
+      let napplied = Array.make f 0 in
+      let footprints = Hashtbl.create (if certify then 64 else 1) in
+      let claimed = Hashtbl.create (if certify then 64 else 1) in
+      let cert_claim =
+        if not certify then fun _ _ -> ()
+        else fun a b ->
+          let ka = (a, napplied.(a)) and kb = (b, napplied.(b)) in
+          let key = if ka <= kb then (ka, kb) else (kb, ka) in
+          if not (Hashtbl.mem claimed key) then Hashtbl.replace claimed key ()
+      in
+      let footprint_of = function
+        | Aug.Ops.Hscan -> `Scan
+        | Aug.Ops.Happend_triples ts ->
+          `Appends (List.map (fun (tr : Hrep.triple) -> tr.Hrep.comp) ts)
+        | Aug.Ops.Happend_lrecords _ -> `Helping
+      in
       (* A plan is single-run (fire-once state), so compile it afresh for
          every execution: replays see the identical fault environment. *)
       let plan = Faults.plan ~adapter:Aug.fault_adapter faults in
@@ -1016,6 +1178,13 @@ module Aug_target = struct
       let comp1 = Array.make f 0x1505 in
       let comp2 = Array.make f 0x9747 in
       let apply ~pid op =
+        if certify then begin
+          (* [op] is the post-fault-adapted operation — the one that
+             actually hits shared memory, so the one whose footprint
+             the commutation claim is about. *)
+          Hashtbl.replace footprints (pid, napplied.(pid)) (footprint_of op);
+          napplied.(pid) <- napplied.(pid) + 1
+        end;
         let res = Aug.apply aug ~pid op in
         let tag =
           match op with
@@ -1053,17 +1222,19 @@ module Aug_target = struct
          each writes only its own H component); anything involving a
          scan or a helping write does not. *)
       let indep pending a b =
-        match (pending a, pending b) with
-        | Some (Aug.Ops.Happend_triples ta), Some (Aug.Ops.Happend_triples tb)
-          ->
-          List.for_all
-            (fun (t : Hrep.triple) ->
-              not
-                (List.exists
-                   (fun (u : Hrep.triple) -> u.Hrep.comp = t.Hrep.comp)
-                   tb))
-            ta
-        | _ -> false
+        if unsound_indep then a <> b
+        else
+          match (pending a, pending b) with
+          | Some (Aug.Ops.Happend_triples ta), Some (Aug.Ops.Happend_triples tb)
+            ->
+            List.for_all
+              (fun (t : Hrep.triple) ->
+                not
+                  (List.exists
+                     (fun (u : Hrep.triple) -> u.Hrep.comp = t.Hrep.comp)
+                     tb))
+              ta
+          | _ -> false
       in
       let fprobe =
         Option.map
@@ -1074,6 +1245,7 @@ module Aug_target = struct
                 live;
                 fingerprint = Some (fingerprint live);
                 indep = indep pending;
+                claim = cert_claim;
               })
           probe
       in
@@ -1081,6 +1253,26 @@ module Aug_target = struct
         Aug.F.run ~max_ops ~control ~obs_label:Aug.op_name ?probe:fprobe
           ~sched ~apply (bodies aug)
       in
+      if certify then
+        Hashtbl.iter
+          (fun (ka, kb) () ->
+            match
+              (Hashtbl.find_opt footprints ka, Hashtbl.find_opt footprints kb)
+            with
+            | Some fa, Some fb ->
+              Obs.Metrics.incr m_cert_checks;
+              let disjoint =
+                match (fa, fb) with
+                | `Appends ca, `Appends cb ->
+                  List.for_all (fun c -> not (List.mem c cb)) ca
+                | _ -> false
+              in
+              if not disjoint then Obs.Metrics.incr m_cert_viols
+            | _ ->
+              (* One side never executed (truncated run): the pruned
+                 ordering was not realizable here, nothing to check. *)
+              ())
+          claimed;
       let live = live_of result.Aug.F.statuses in
       let complete = live = [] in
       let judge_now () = judge ocs ~complete { aug; result; complete } in
@@ -1130,9 +1322,11 @@ module Aug_target = struct
 
   let builtin_names = [ "bu-conflict"; "bu-scan"; "bu-then-scan"; "mixed" ]
 
-  let builtin ?inject ?faults ?oracles ~name ~f ~m () =
+  let builtin ?inject ?faults ?oracles ?unsound_indep ~name ~f ~m () =
     let mk bodies =
-      Some (workload ?oracles ?inject ?faults ~name ~f ~m ~bodies ())
+      Some
+        (workload ?oracles ?inject ?faults ?unsound_indep ~name ~f ~m ~bodies
+           ())
     in
     match name with
     | "bu-conflict" ->
@@ -1279,7 +1473,7 @@ module Harness_target = struct
       | None -> if faults = [] then default_oracles else fault_oracles
     in
     let ocs = oracle_counters oracles in
-    let exec ~probe ~sched ~max_ops ~check =
+    let exec ~probe ~certify:_ ~sched ~max_ops ~check =
       let hspec =
         {
           Harness.protocol = (fun pid input -> (Racing.protocol ~m ()) pid input);
@@ -1296,7 +1490,15 @@ module Harness_target = struct
       let fprobe =
         Option.map
           (fun p ~step ~live ~pending:_ ->
-            p { step; live; fingerprint = None; indep = (fun _ _ -> false) })
+            p
+              {
+                step;
+                live;
+                fingerprint = None;
+                indep = (fun _ _ -> false);
+                (* never sleeps branches, so never claims *)
+                claim = (fun _ _ -> ());
+              })
           probe
       in
       let result =

@@ -37,15 +37,20 @@ open Rsim_shmem
     probed execution: the decision index, the schedulable pids, a
     canonical state fingerprint (two independently-mixed digests of the
     shared state and every fiber's operation/result history; [None] when
-    the workload cannot fingerprint soundly), and the independence
-    relation between two live pids' pending operations (true only when
-    executing them in either order is equivalent for every oracle the
-    workload runs). *)
+    the workload cannot fingerprint soundly), the independence relation
+    between two live pids' pending operations (true only when executing
+    them in either order is equivalent for every oracle the workload
+    runs), and a certification callback: under [--certify-independence]
+    the engine calls [claim a b] for every pair whose claimed
+    commutation justified a sleep-set prune, and the workload validates
+    the pair's real footprints once both operations execute (a no-op
+    when certification is off). *)
 type probe_view = {
   step : int;
   live : int list;
   fingerprint : (int * int) option;
   indep : int -> int -> bool;
+  claim : int -> int -> unit;
 }
 
 (** Returning [`Stop] ends the execution at that decision point. *)
@@ -81,6 +86,7 @@ type workload = {
       (** fault-plane profile ({!Rsim_faults.Faults.to_string}), if any *)
   exec :
     probe:probe option ->
+    certify:bool ->
     sched:Schedule.t ->
     max_ops:int ->
     check:bool ->
@@ -103,6 +109,12 @@ type exhaustive_report = {
   dedup_hits : int;  (** branches cut at an already-claimed state *)
   pruned : int;  (** branches cut by the sleep-set independence rule *)
   domains : int;  (** parallel workers used *)
+  certify_checks : int;
+      (** sleep-set commutation claims validated under
+          [--certify-independence] (0 when certification is off) *)
+  certify_violations : int;
+      (** validated claims whose real footprints were {e not} disjoint
+          triple-appends — each one is an unsound prune *)
   violations : violation list;
 }
 
@@ -131,7 +143,18 @@ type exhaustive_report = {
     which racing task wins a claim. Stops early (atomically, across all
     domains) after [max_violations] (default 1) raw violations; the raw
     set is then merged deterministically (shortest script first),
-    shrunk, and deduplicated. *)
+    shrunk, and deduplicated.
+
+    [certify] (default false) turns PR 4's commutativity assumption into
+    a runtime-checked invariant: every sleep-set prune's operation pair
+    is claimed to the workload, which validates — once both operations
+    actually execute — that their real shared-memory footprints are
+    disjoint-component triple-appends. Checks and violations are counted
+    in the [explore.certify.*] metrics and reported as per-run deltas in
+    [certify_checks]/[certify_violations]; a non-zero violation count
+    means some explored-elsewhere ordering was pruned unsoundly. Only
+    meaningful while sleep sets are active, so it switches itself off
+    whenever [independence] does. *)
 val exhaustive :
   ?max_steps:int ->
   ?preemption_bound:int ->
@@ -139,6 +162,7 @@ val exhaustive :
   ?domains:int ->
   ?dedup:bool ->
   ?independence:bool ->
+  ?certify:bool ->
   workload ->
   exhaustive_report
 
@@ -245,6 +269,20 @@ module Aug_target : sig
       vacuously on crash-free executions. *)
   val crash_robust : exec Oracle.t
 
+  (** The happens-before race oracle (DESIGN §10): replays the trace
+      through {!Rsim_runtime.Hb.Tracker} vector clocks — H is
+      single-writer, so an append publishes the issuer's clock, an
+      H.scan joins every published clock, fault-plane events are
+      incarnation boundaries — and flags every Block-Update that
+      returned [Atomic] without having observed, at its Line-2 scan,
+      some M-conflicting triple-append by a lower-identifier process
+      linearized before the block's own Line-4 X append — the single
+      point the block linearizes at (Lemma 11); appends after that
+      point serialize after the block and are harmless. Clean on the
+      unfaulted object (the Line-9 yield rule forbids exactly this);
+      catches [Skip_yield_check] and [Yield_on_higher]. *)
+  val race : exec Oracle.t
+
   (** [[no_failure; spec; theorem20; progress ()]]. *)
   val default_oracles : exec Oracle.t list
 
@@ -254,11 +292,17 @@ module Aug_target : sig
       afresh (fire-once state and all) on every execution, so replays are
       deterministic. Executions maintain rolling state digests, so the
       exploration engine's probe always gets a fingerprint and the
-      disjoint-component Block-Update independence relation. *)
+      disjoint-component Block-Update independence relation.
+
+      [unsound_indep] (default false, tests only) replaces the
+      independence relation with the deliberately wrong "any two
+      distinct pids commute" — the engine then prunes unsoundly and
+      [certify] must catch it. *)
   val workload :
     ?oracles:exec Oracle.t list ->
     ?inject:Rsim_augmented.Aug.fault ->
     ?faults:Rsim_faults.Faults.spec list ->
+    ?unsound_indep:bool ->
     name:string ->
     f:int ->
     m:int ->
@@ -276,6 +320,7 @@ module Aug_target : sig
     ?inject:Rsim_augmented.Aug.fault ->
     ?faults:Rsim_faults.Faults.spec list ->
     ?oracles:exec Oracle.t list ->
+    ?unsound_indep:bool ->
     name:string ->
     f:int ->
     m:int ->

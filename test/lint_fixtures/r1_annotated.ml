@@ -1,0 +1,17 @@
+(* R1 fixture, silenced: same shape as r1_bare_ref.ml but every share
+   is either Atomic or carries a [@rsim.shared] rationale — zero
+   findings. *)
+
+let hits = Atomic.make 0
+let journal = (ref [] [@rsim.shared "guarded by journal_mu"])
+let journal_mu = Mutex.create ()
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        Atomic.incr hits;
+        Mutex.lock journal_mu;
+        journal := Atomic.get hits :: !journal;
+        Mutex.unlock journal_mu)
+  in
+  Domain.join d

@@ -1,0 +1,8 @@
+(* R1 fixture: a structure-level ref in a Domain-spawning module, with
+   no [@rsim.shared] rationale — exactly one finding. *)
+
+let counter = ref 0
+
+let run () =
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d

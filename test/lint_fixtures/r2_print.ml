@@ -1,0 +1,5 @@
+(* R2 fixture: direct printing in library code — exactly one finding.
+   Printf.sprintf is pure and must NOT be flagged. *)
+
+let describe n = Printf.sprintf "n = %d" n
+let announce n = print_endline (describe n)

@@ -1,0 +1,4 @@
+(* R3 fixture: ambient nondeterminism in a deterministic path —
+   exactly one finding. *)
+
+let stamp () = int_of_float (Unix.gettimeofday () *. 1e6)

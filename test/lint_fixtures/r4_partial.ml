@@ -1,0 +1,5 @@
+(* R4 fixture: a partial function on a hot path — exactly one finding.
+   The total match below must NOT be flagged. *)
+
+let first_or_zero = function [] -> 0 | x :: _ -> x
+let first xs = List.hd xs

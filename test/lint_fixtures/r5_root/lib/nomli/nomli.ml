@@ -1,0 +1,4 @@
+(* R5 fixture: a library module with no sibling .mli — the scan over
+   this mini-workspace reports exactly one finding. *)
+
+let answer = 42

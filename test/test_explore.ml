@@ -5,8 +5,11 @@ open Rsim_explore
 
 module Faults = Rsim_faults.Faults
 
-let get_builtin ?inject ?faults ?oracles name ~f ~m =
-  match Explore.Aug_target.builtin ?inject ?faults ?oracles ~name ~f ~m () with
+let get_builtin ?inject ?faults ?oracles ?unsound_indep name ~f ~m =
+  match
+    Explore.Aug_target.builtin ?inject ?faults ?oracles ?unsound_indep ~name
+      ~f ~m ()
+  with
   | Some w -> w
   | None -> Alcotest.failf "unknown builtin workload %s" name
 
@@ -591,6 +594,93 @@ let test_linearizable_oracle_exhaustive () =
   Alcotest.(check bool) "covered executions" true
     (rep.Explore.complete + rep.Explore.truncated > 50)
 
+(* ---- happens-before race oracle + sleep-set certification ---- *)
+
+let test_race_oracle_catches () =
+  (* [Skip_yield_check] makes a Block-Update return Atomic even when a
+     lower-identifier process appended conflicting triples inside its
+     window — exactly the unserializable overlap the vector-clock race
+     oracle flags. The counterexample must shrink and replay. *)
+  let w =
+    get_builtin ~inject:Aug.Skip_yield_check
+      ~oracles:[ Explore.Aug_target.race ]
+      "bu-conflict" ~f:2 ~m:2
+  in
+  let rep = Explore.exhaustive ~max_steps:12 w in
+  Alcotest.(check bool) "racy schedule caught" true
+    (rep.Explore.violations <> []);
+  let v = List.hd rep.Explore.violations in
+  Alcotest.(check bool) "blamed on the race oracle" true
+    (any_error ~sub:"race:" v.Explore.errors);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk (%d <= %d steps)"
+       (List.length v.Explore.script)
+       (List.length v.Explore.original))
+    true
+    (List.length v.Explore.script <= List.length v.Explore.original);
+  (* deterministic replay of the shrunk script reproduces the race *)
+  let out = Explore.replay w ~max_steps:12 ~script:v.Explore.script in
+  Alcotest.(check bool) "replay reproduces the race" true
+    (any_error ~sub:"race:" out.Explore.errors)
+
+let test_race_oracle_clean () =
+  (* On the clean object the Line-9 yield rule forbids exactly the
+     overlap the oracle checks for: zero findings over every schedule,
+     pruning off so the literal space is covered. *)
+  let w =
+    get_builtin ~oracles:[ Explore.Aug_target.race ] "bu-conflict" ~f:2 ~m:2
+  in
+  let rep =
+    Explore.exhaustive ~max_steps:10 ~dedup:false ~independence:false w
+  in
+  Alcotest.(check int) "race-free" 0 (List.length rep.Explore.violations);
+  Alcotest.(check bool) "covered the space" true
+    (rep.Explore.complete + rep.Explore.truncated >= 500)
+
+let test_certify_clean () =
+  (* --certify-independence over the Theorem 20 workload: every claimed
+     commutation must validate. bu-conflict never claims (conflicting
+     appends are never independent); bu-then-scan does, so it pins
+     checks > 0. *)
+  let rep =
+    Explore.exhaustive ~max_steps:12 ~certify:true
+      (get_builtin "bu-conflict" ~f:2 ~m:2)
+  in
+  Alcotest.(check int) "no violations" 0 (List.length rep.Explore.violations);
+  Alcotest.(check int) "zero HB violations" 0 rep.Explore.certify_violations;
+  let rep' =
+    Explore.exhaustive ~max_steps:12 ~certify:true
+      (get_builtin "bu-then-scan" ~f:2 ~m:2)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "disjoint workload exercises claims (%d checks)"
+       rep'.Explore.certify_checks)
+    true
+    (rep'.Explore.certify_checks > 0);
+  Alcotest.(check int) "and they all validate" 0
+    rep'.Explore.certify_violations
+
+let test_certify_catches_unsound_indep () =
+  (* The deliberately wrong relation "any two distinct pids commute"
+     makes the engine sleep conflicting Block-Updates on each other;
+     certification must observe their real footprints (appends to the
+     same component) and count violations. *)
+  let rep =
+    Explore.exhaustive ~max_steps:12 ~certify:true
+      (get_builtin ~unsound_indep:true "bu-conflict" ~f:2 ~m:2)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unsound prunes detected (%d/%d claims)"
+       rep.Explore.certify_violations rep.Explore.certify_checks)
+    true
+    (rep.Explore.certify_violations > 0);
+  (* off switch: the same workload without certification reports zeros *)
+  let rep' =
+    Explore.exhaustive ~max_steps:12
+      (get_builtin ~unsound_indep:true "bu-conflict" ~f:2 ~m:2)
+  in
+  Alcotest.(check int) "no checks when off" 0 rep'.Explore.certify_checks
+
 let () =
   Alcotest.run "explore"
     [
@@ -665,5 +755,16 @@ let () =
         [
           Alcotest.test_case "BU vs Scan histories" `Quick
             test_linearizable_oracle_exhaustive;
+        ] );
+      ( "race + certify",
+        [
+          Alcotest.test_case "race oracle catches skip-yield-check" `Quick
+            test_race_oracle_catches;
+          Alcotest.test_case "race oracle clean on the clean object" `Quick
+            test_race_oracle_clean;
+          Alcotest.test_case "certify-independence clean on Theorem 20" `Quick
+            test_certify_clean;
+          Alcotest.test_case "certify catches an unsound independence" `Quick
+            test_certify_catches_unsound_indep;
         ] );
     ]
